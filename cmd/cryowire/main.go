@@ -1,0 +1,82 @@
+// Command cryowire runs the CryoWire reproduction experiments: every
+// table and figure of the paper has an experiment ID (fig5, table3, …).
+//
+// Usage:
+//
+//	cryowire list             # show available experiments
+//	cryowire fig23            # run one experiment
+//	cryowire all              # run everything
+//	cryowire -quick fig21     # shrunk sweeps for a fast look
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cryowire/internal/experiments"
+)
+
+var jsonOut bool
+
+func main() {
+	quick := flag.Bool("quick", false, "use shrunk sweeps and shorter simulations")
+	flag.BoolVar(&jsonOut, "json", false, "emit reports as JSON instead of text tables")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	arg := flag.Arg(0)
+	switch arg {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	case "all":
+		for _, id := range experiments.IDs() {
+			if err := runOne(id, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "cryowire: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	default:
+		for _, id := range flag.Args() {
+			if err := runOne(id, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "cryowire: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func runOne(id string, opt experiments.Options) error {
+	r, err := experiments.Run(id, opt)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	}
+	fmt.Println(r.Render())
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: cryowire [-quick] [-json] <experiment>...
+       cryowire list | all
+
+Experiments reproduce the CryoWire paper's tables and figures; see
+DESIGN.md for the experiment index and EXPERIMENTS.md for results.
+`)
+}

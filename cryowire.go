@@ -1,0 +1,201 @@
+// Package cryowire is a from-scratch Go reproduction of "CryoWire:
+// Wire-Driven Microarchitecture Designs for Cryogenic Computing"
+// (Min, Chung, Byun, Kim, Kim — ASPLOS 2022).
+//
+// The package exposes the library's top-level workflow:
+//
+//	cw := cryowire.New()
+//	sp := cw.DeriveCryoSP()        // §4: the superpipelined 77K core
+//	bus := cw.DesignCryoBus()      // §5: the 1-cycle-broadcast H-tree bus
+//	rep, _ := cryowire.RunExperiment("fig23", cryowire.DefaultOptions())
+//
+// Everything underneath lives in internal/ packages: device physics
+// (internal/phys), wires and repeaters (internal/wire), a transient
+// circuit solver (internal/circuit), the pipeline critical-path model
+// (internal/pipeline), a cycle-level NoC simulator (internal/noc),
+// MESI coherence (internal/coherence), a 64-core full-system simulator
+// (internal/sim), power models (internal/power) and one experiment
+// runner per paper table/figure (internal/experiments). DESIGN.md maps
+// the paper to the code; EXPERIMENTS.md records reproduced numbers.
+package cryowire
+
+import (
+	"fmt"
+
+	"cryowire/internal/core"
+	"cryowire/internal/experiments"
+	"cryowire/internal/noc"
+	"cryowire/internal/phys"
+	"cryowire/internal/power"
+	"cryowire/internal/sim"
+	"cryowire/internal/wire"
+	"cryowire/internal/workload"
+)
+
+// CryoWire is the top-level model suite (re-exported from
+// internal/core).
+type CryoWire = core.CryoWire
+
+// Reports for the two headline design derivations.
+type (
+	// CryoSPReport documents the §4 superpipelining flow.
+	CryoSPReport = core.CryoSPReport
+	// CryoBusReport documents the §5 bus design point.
+	CryoBusReport = core.CryoBusReport
+)
+
+// New builds the default calibrated model suite.
+func New() *CryoWire { return core.New() }
+
+// Experiment plumbing.
+type (
+	// Report is a reproduced table or figure.
+	Report = experiments.Report
+	// Options tunes experiment run lengths.
+	Options = experiments.Options
+)
+
+// DefaultOptions returns CLI-grade experiment options.
+func DefaultOptions() Options { return experiments.DefaultOptions() }
+
+// QuickOptions returns fast test/bench-grade options.
+func QuickOptions() Options { return experiments.QuickOptions() }
+
+// ExperimentIDs lists every reproducible table/figure.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment reproduces one paper table/figure by ID.
+func RunExperiment(id string, opt Options) (*Report, error) {
+	return experiments.Run(id, opt)
+}
+
+// System-simulation access for downstream users.
+type (
+	// Design is a full system configuration (Table 4 row).
+	Design = sim.Design
+	// SimConfig controls simulation length and seed.
+	SimConfig = sim.Config
+	// SimResult is one simulation outcome.
+	SimResult = sim.Result
+	// Workload is a statistical workload profile.
+	Workload = workload.Profile
+)
+
+// EvaluationDesigns returns the paper's five systems.
+func EvaluationDesigns() []Design { return sim.NewFactory().Evaluation() }
+
+// WorkloadByName finds a profile (PARSEC/SPEC/CloudSuite).
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// ParsecWorkloads returns the 13 PARSEC 2.1 profiles.
+func ParsecWorkloads() []Workload { return workload.Parsec() }
+
+// Simulate runs one design × workload pair on the full-system
+// simulator.
+func Simulate(d Design, w Workload, cfg SimConfig) (SimResult, error) {
+	s, err := sim.New(d, w, cfg)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return s.Run(), nil
+}
+
+// --- wire-study API (the Fig 5 workflow) ------------------------------------
+
+// WireSpeedupAt returns the 300K→tempK speed-up of a driven wire of the
+// given class ("local", "semi-global", "global") and length. With
+// repeated=true the wire carries latency-optimal repeaters re-optimized
+// at each temperature.
+func WireSpeedupAt(class string, lengthMM, tempK float64, repeated bool) (float64, error) {
+	var spec wire.Spec
+	switch class {
+	case "local":
+		spec = wire.Local
+	case "semi-global":
+		spec = wire.SemiGlobal
+	case "global":
+		spec = wire.Global
+	case "forwarding":
+		spec = wire.Forwarding
+	default:
+		return 0, fmt.Errorf("cryowire: unknown wire class %q", class)
+	}
+	m := phys.DefaultMOSFET()
+	op := phys.OperatingPoint{T: phys.Kelvin(tempK), Vdd: phys.Nominal45.Vdd, Vth: phys.Nominal45.Vth}
+	if err := op.Valid(); err != nil {
+		return 0, err
+	}
+	drv := 1 + lengthMM*10
+	if repeated {
+		drv = 1
+	}
+	return wire.Speedup(wire.NewLine(spec, lengthMM, drv), op, m, repeated), nil
+}
+
+// --- NoC design-space API (the Fig 21 workflow) -----------------------------
+
+// LoadLatencyPoint is one point of a load-latency curve.
+type LoadLatencyPoint = noc.SweepPoint
+
+// NoCDesignNames lists the 64-core interconnects available to
+// NoCLoadLatency.
+func NoCDesignNames() []string {
+	return []string{"mesh", "torus", "ring", "cmesh", "fbfly", "sharedbus", "cryobus", "cryobus-2way"}
+}
+
+// NoCLoadLatency sweeps injection rates over a named 64-core NoC at the
+// given temperature under a named traffic pattern ("uniform",
+// "transpose", "hotspot", "bitreverse", "burst").
+func NoCLoadLatency(design, pattern string, tempK float64, rates []float64) ([]LoadLatencyPoint, error) {
+	m := phys.DefaultMOSFET()
+	op := phys.OperatingPoint{T: phys.Kelvin(tempK), Vdd: phys.Nominal45.Vdd, Vth: phys.Nominal45.Vth}
+	if err := op.Valid(); err != nil {
+		return nil, err
+	}
+	meshT := noc.MeshTiming(op, m, 1)
+	busT := noc.BusTiming(op, m)
+	var mk func() noc.Network
+	switch design {
+	case "mesh":
+		mk = func() noc.Network { return noc.NewMesh(64, meshT) }
+	case "torus":
+		mk = func() noc.Network { return noc.NewTorus(64, meshT) }
+	case "ring":
+		mk = func() noc.Network { return noc.NewRing(64, meshT) }
+	case "cmesh":
+		mk = func() noc.Network { return noc.NewCMesh(64, meshT) }
+	case "fbfly":
+		mk = func() noc.Network { return noc.NewFlattenedButterfly(64, meshT) }
+	case "sharedbus":
+		mk = func() noc.Network { return noc.NewSharedBus77(64, busT) }
+	case "cryobus":
+		mk = func() noc.Network { return noc.NewCryoBus(64, busT) }
+	case "cryobus-2way":
+		mk = func() noc.Network {
+			return noc.NewInterleavedBus(2, func() *noc.Bus { return noc.NewCryoBus(64, busT) })
+		}
+	default:
+		return nil, fmt.Errorf("cryowire: unknown NoC design %q (have %v)", design, NoCDesignNames())
+	}
+	pat, err := noc.PatternByName(pattern)
+	if err != nil {
+		return nil, err
+	}
+	cfg := noc.SweepConfig{Pattern: pat, Rates: rates, Seed: 1}
+	return noc.LoadLatency(mk, cfg), nil
+}
+
+// --- temperature-sweep API (the Fig 27 workflow) ----------------------------
+
+// TempSweepPoint is one temperature of the perf/power study.
+type TempSweepPoint = power.SweepPoint
+
+// TemperatureSweep computes frequency, power (with cooling) and
+// performance-per-watt across operating temperatures.
+func TemperatureSweep(tempsK []float64) []TempSweepPoint {
+	temps := make([]power.Kelvin, len(tempsK))
+	for i, t := range tempsK {
+		temps[i] = power.Kelvin(t)
+	}
+	return power.NewModel().TemperatureSweep(temps)
+}

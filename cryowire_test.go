@@ -1,0 +1,119 @@
+package cryowire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeDeriveCryoSP(t *testing.T) {
+	cw := New()
+	sp := cw.DeriveCryoSP()
+	if sp.CryoSP.FreqGHz < 7.6 || sp.CryoSP.FreqGHz > 8.1 {
+		t.Errorf("CryoSP frequency = %v, want ≈7.84", sp.CryoSP.FreqGHz)
+	}
+	if sp.FreqGain300K < 1.9 || sp.FreqGain300K > 2.05 {
+		t.Errorf("frequency gain vs 300K = %v, want ≈1.96", sp.FreqGain300K)
+	}
+}
+
+func TestFacadeDesignCryoBus(t *testing.T) {
+	bus := New().DesignCryoBus()
+	if bus.BroadcastCycles != 1 {
+		t.Errorf("broadcast = %v cycles, want 1", bus.BroadcastCycles)
+	}
+}
+
+func TestFacadeExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 25 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	found := map[string]bool{}
+	for _, id := range ids {
+		found[id] = true
+	}
+	for _, want := range []string{"fig5", "fig23", "table3", "abl-snoop"} {
+		if !found[want] {
+			t.Errorf("experiment %s missing from the facade list", want)
+		}
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	r, err := RunExperiment("fig20", QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Render(), "CryoBus") {
+		t.Error("fig20 render missing CryoBus row")
+	}
+	if _, err := RunExperiment("not-a-figure", QuickOptions()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	w, err := WorkloadByName("vips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := EvaluationDesigns()
+	if len(designs) != 5 {
+		t.Fatalf("expected the 5 Table 4 designs, got %d", len(designs))
+	}
+	res, err := Simulate(designs[1], w, SimConfig{WarmupCycles: 800, MeasureCycles: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Performance <= 0 {
+		t.Error("zero performance from a valid simulation")
+	}
+	if len(ParsecWorkloads()) != 13 {
+		t.Error("PARSEC workload list wrong size")
+	}
+}
+
+func TestFacadeWireSpeedup(t *testing.T) {
+	v, err := WireSpeedupAt("semi-global", 0.9, 77, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 2.1 || v > 2.4 {
+		t.Errorf("semi-global 0.9mm repeated speedup = %v, want ≈2.25", v)
+	}
+	if _, err := WireSpeedupAt("quantum", 1, 77, false); err == nil {
+		t.Error("unknown wire class should error")
+	}
+	if _, err := WireSpeedupAt("local", 1, -5, false); err == nil {
+		t.Error("invalid temperature should error")
+	}
+}
+
+func TestFacadeNoCLoadLatency(t *testing.T) {
+	pts, err := NoCLoadLatency("cryobus", "uniform", 77, []float64{0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].AvgLatency <= 0 {
+		t.Fatalf("unexpected sweep result %+v", pts)
+	}
+	if _, err := NoCLoadLatency("hypercube", "uniform", 77, nil); err == nil {
+		t.Error("unknown design should error")
+	}
+	if _, err := NoCLoadLatency("mesh", "fractal", 77, nil); err == nil {
+		t.Error("unknown pattern should error")
+	}
+	if len(NoCDesignNames()) < 5 {
+		t.Error("design name list too short")
+	}
+}
+
+func TestFacadeTemperatureSweep(t *testing.T) {
+	pts := TemperatureSweep([]float64{300, 100, 77})
+	if len(pts) != 3 {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	if pts[1].PerfPerPower <= pts[2].PerfPerPower {
+		t.Error("100K should beat 77K on perf/power (Fig 27)")
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: derive the paper's two microarchitectures and reproduce
+// the headline system comparison on a couple of workloads.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cryowire"
+)
+
+func main() {
+	cw := cryowire.New()
+
+	// §4: derive CryoSP — superpipeline the frontend at 77 K, apply the
+	// CryoCore sizing and the Vdd/Vth scaling.
+	sp := cw.DeriveCryoSP()
+	fmt.Println("=== CryoSP derivation (§4) ===")
+	fmt.Printf("baseline:       %.2f GHz (%d-deep, %d-wide)\n",
+		sp.Baseline.FreqGHz, sp.Baseline.Depth, sp.Baseline.Width)
+	fmt.Printf("split stages:   %v (target: %s)\n", sp.Superpipe.SplitStages, sp.Superpipe.TargetStage)
+	fmt.Printf("CryoSP:         %.2f GHz at Vdd=%.2fV/Vth=%.2fV (%d-deep)\n",
+		sp.CryoSP.FreqGHz, float64(sp.CryoSP.Op.Vdd), float64(sp.CryoSP.Op.Vth), sp.CryoSP.Depth)
+	fmt.Printf("gain vs 300K:   %.2fx   gain vs CHP-core: %.2fx\n\n", sp.FreqGain300K, sp.FreqGainCHP)
+
+	// §5: design CryoBus — the H-tree snooping bus with dynamic links.
+	bus := cw.DesignCryoBus()
+	fmt.Println("=== CryoBus design (§5) ===")
+	fmt.Printf("topology:       H-tree, %d-hop span (serpentine baseline: %d hops)\n",
+		bus.MaxHops, bus.SerpentineHops)
+	fmt.Printf("broadcast:      %.0f cycle(s); zero-load transaction: %.1f cycles\n\n",
+		bus.BroadcastCycles, bus.ZeroLoadCycles)
+
+	// §6: run the system-level comparison on two contrasting workloads.
+	fmt.Println("=== System evaluation (§6) ===")
+	cfg := cryowire.SimConfig{WarmupCycles: 3000, MeasureCycles: 12000, Seed: 1}
+	designs := cryowire.EvaluationDesigns()
+	for _, wl := range []string{"streamcluster", "blackscholes"} {
+		w, err := cryowire.WorkloadByName(wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ref float64
+		fmt.Printf("%s:\n", wl)
+		for i, d := range designs {
+			r, err := cryowire.Simulate(d, w, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 1 { // normalize to CHP-core (77K, Mesh) as the paper does
+				ref = r.Performance
+			}
+			fmt.Printf("  %-28s %8.1f instr/ns\n", d.Name, r.Performance)
+		}
+		last, _ := cryowire.Simulate(designs[4], w, cfg)
+		fmt.Printf("  => CryoSP+CryoBus speedup vs CHP-core(77K,Mesh): %.2fx\n\n", last.Performance/ref)
+	}
+}

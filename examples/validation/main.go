@@ -1,0 +1,29 @@
+// Validation replays the §3 model-validation discipline: the pipeline
+// and router models against the LN-cooled board measurements (Fig 9),
+// the wire-link model against the transient circuit solver (Fig 10),
+// and the Table 4 memory latencies against the circuit-level cache and
+// DRAM models.
+//
+//	go run ./examples/validation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cryowire"
+)
+
+func main() {
+	for _, id := range []string{"fig9", "fig10", "table4-derived"} {
+		rep, err := cryowire.RunExperiment(id, cryowire.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep.Render())
+	}
+	fmt.Println("All three validations compare a fast analytic model against an")
+	fmt.Println("independent reference (published measurements, a transient RC")
+	fmt.Println("solver, circuit-level cache/DRAM models) — the same discipline")
+	fmt.Println("the paper applies before trusting its 77K predictions.")
+}

@@ -1,0 +1,49 @@
+// Wiresweep walks the Fig 5 workflow: how much faster do on-chip wires
+// get at 77 K, as a function of length, metal class, and repeater
+// insertion?
+//
+//	go run ./examples/wiresweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cryowire"
+)
+
+func main() {
+	fmt.Println("77K wire speed-up vs length (Fig 5 workflow)")
+	fmt.Println()
+	fmt.Printf("%-10s  %-12s  %-16s  %-18s  %-12s\n",
+		"len (mm)", "local (raw)", "semi-global(raw)", "semi-global(rep.)", "global(rep.)")
+	for _, l := range []float64{0.1, 0.3, 0.9, 2, 4, 6.22, 10} {
+		row := []float64{}
+		for _, q := range []struct {
+			class string
+			rep   bool
+		}{
+			{"local", false}, {"semi-global", false}, {"semi-global", true}, {"global", true},
+		} {
+			v, err := cryowire.WireSpeedupAt(q.class, l, 77, q.rep)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, v)
+		}
+		fmt.Printf("%-10.2f  %-12.2f  %-16.2f  %-18.2f  %-12.2f\n", l, row[0], row[1], row[2], row[3])
+	}
+	fmt.Println()
+	fmt.Println("Temperature scaling of the in-core forwarding wire:")
+	for _, t := range []float64{300, 200, 135, 100, 77} {
+		v, err := cryowire.WireSpeedupAt("forwarding", 1.686, t, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5.0f K: %.2fx\n", t, v)
+	}
+	fmt.Println()
+	fmt.Println("Paper anchors: 2.95x/3.69x unrepeated local/semi-global (long),")
+	fmt.Println("2.25x repeated semi-global @0.9mm, 3.38x repeated global @6.22mm,")
+	fmt.Println("2.81x forwarding wire @77K.")
+}

@@ -1,0 +1,3 @@
+module cryowire
+
+go 1.22

@@ -1,0 +1,202 @@
+package branch
+
+// TAGE is a compact TAGE predictor — the other main-predictor option
+// the paper names for the overriding structure (§4.1: "GShare, TAGE").
+// A base bimodal table backs a set of partially-tagged components
+// indexed with geometrically growing history lengths; the longest
+// matching component provides the prediction, and allocation on
+// mispredicts steers hard branches to longer histories.
+type TAGE struct {
+	base *Bimodal
+	// components, shortest history first
+	comps []tageComponent
+	// global history register
+	history uint64
+	// LatencyCycles mirrors GShare's multi-cycle access.
+	LatencyCycles int
+}
+
+type tageComponent struct {
+	histBits uint
+	entries  []tageEntry
+	mask     uint64
+}
+
+type tageEntry struct {
+	tag    uint16
+	ctr    int8 // -4..3 signed counter; ≥0 predicts taken
+	useful uint8
+	valid  bool
+}
+
+// NewTAGE builds a predictor with the given per-component table size
+// and history lengths (geometric: 4, 8, 16, 32, 64).
+func NewTAGE(entriesPerComp int, latency int) *TAGE {
+	n := 1
+	for n < entriesPerComp {
+		n <<= 1
+	}
+	t := &TAGE{base: NewBimodal(4096), LatencyCycles: latency}
+	for _, h := range []uint{4, 8, 16, 32, 64} {
+		t.comps = append(t.comps, tageComponent{
+			histBits: h,
+			entries:  make([]tageEntry, n),
+			mask:     uint64(n - 1),
+		})
+	}
+	return t
+}
+
+// foldHistory masks the history to histBits and avalanche-mixes it so
+// structurally similar contexts (shifted periodic patterns) land on
+// unrelated indices — plain chunked-XOR folding aliases them.
+func foldHistory(history uint64, histBits uint) uint64 {
+	if histBits >= 64 {
+		histBits = 63
+	}
+	h := history & ((1 << histBits) - 1)
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// index computes a component's table index for a PC.
+func (c *tageComponent) index(pc, history uint64) uint64 {
+	return (pc ^ pc>>4 ^ foldHistory(history, c.histBits)) & c.mask
+}
+
+// tag computes the partial tag (a different slice of the mixed bits).
+func (c *tageComponent) tag(pc, history uint64) uint16 {
+	return uint16((pc>>2 ^ (foldHistory(history, c.histBits) >> 20)) & 0x3FF)
+}
+
+// lookup finds the longest matching component (or -1).
+func (t *TAGE) lookup(pc uint64) (provider int, pred bool) {
+	provider = -1
+	pred = t.base.Predict(pc)
+	for i := range t.comps {
+		c := &t.comps[i]
+		e := &c.entries[c.index(pc, t.history)]
+		if e.valid && e.tag == c.tag(pc, t.history) {
+			provider = i
+			pred = e.ctr >= 0
+		}
+	}
+	return provider, pred
+}
+
+// Predict returns the taken/not-taken guess for a PC.
+func (t *TAGE) Predict(pc uint64) bool {
+	_, p := t.lookup(pc)
+	return p
+}
+
+// Update trains the predictor with the actual outcome.
+func (t *TAGE) Update(pc uint64, taken bool) {
+	provider, pred := t.lookup(pc)
+	mispredicted := pred != taken
+	if provider >= 0 {
+		c := &t.comps[provider]
+		e := &c.entries[c.index(pc, t.history)]
+		if taken {
+			if e.ctr < 3 {
+				e.ctr++
+			}
+		} else if e.ctr > -4 {
+			e.ctr--
+		}
+		if !mispredicted && e.useful < 3 {
+			e.useful++
+		}
+		// Keep the base predictor trained while the provider entry is
+		// still unproven, so noisy branches fall back gracefully.
+		if e.useful == 0 {
+			t.base.Update(pc, taken)
+		}
+	} else {
+		t.base.Update(pc, taken)
+	}
+	// Allocate on a mispredict: one entry just above the provider (the
+	// cheapest sufficient history) and one at the longest component
+	// (whose context is almost always unique) — the dual allocation
+	// keeps ambiguous short-history entries from thrashing forever.
+	if mispredicted && provider < len(t.comps)-1 {
+		t.allocate(provider+1, pc, taken)
+		t.allocate(len(t.comps)-1, pc, taken)
+	}
+	t.history = t.history<<1 | boolBit(taken)
+}
+
+// allocate installs a fresh entry at component ci (aging the victim if
+// it is still useful).
+func (t *TAGE) allocate(ci int, pc uint64, taken bool) {
+	c := &t.comps[ci]
+	e := &c.entries[c.index(pc, t.history)]
+	if e.valid && e.tag == c.tag(pc, t.history) {
+		return // already tracking this context
+	}
+	if e.valid && e.useful > 0 {
+		e.useful--
+		return
+	}
+	*e = tageEntry{tag: c.tag(pc, t.history), valid: true}
+	if taken {
+		e.ctr = 0
+	} else {
+		e.ctr = -1
+	}
+}
+
+// NewOverridingTAGE assembles the overriding structure with TAGE as the
+// main predictor instead of GShare.
+func NewOverridingTAGE(mispredictPenalty int) *OverridingTAGE {
+	return &OverridingTAGE{
+		BTB:               NewBTB(512),
+		Fast:              NewBimodal(2048),
+		Main:              NewTAGE(2048, 2),
+		OverrideBubble:    2,
+		MispredictPenalty: mispredictPenalty,
+	}
+}
+
+// OverridingTAGE mirrors Overriding with the TAGE backup predictor.
+type OverridingTAGE struct {
+	BTB               *BTB
+	Fast              *Bimodal
+	Main              *TAGE
+	OverrideBubble    int
+	MispredictPenalty int
+}
+
+// Run drives a branch stream through the TAGE-backed structure.
+func (o *OverridingTAGE) Run(st *Stream, n int) Outcome {
+	var out Outcome
+	for i := 0; i < n; i++ {
+		pc, taken, target := st.Next()
+		fast := o.Fast.Predict(pc)
+		_, btbHit := o.BTB.Lookup(pc)
+		fastTaken := fast && btbHit
+		mainPred := o.Main.Predict(pc)
+		override := mainPred != fastTaken
+		mispredict := mainPred != taken
+		o.Fast.Update(pc, taken)
+		o.Main.Update(pc, taken)
+		if taken {
+			o.BTB.Update(pc, target)
+		}
+		out.Branches++
+		if override {
+			out.Overrides++
+			out.BubbleCycles += int64(o.OverrideBubble)
+		}
+		if mispredict {
+			out.Mispredicts++
+			out.BubbleCycles += int64(o.MispredictPenalty)
+		}
+	}
+	return out
+}

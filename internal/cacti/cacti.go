@@ -1,0 +1,198 @@
+// Package cacti is a compact CACTI-style SRAM timing model: given a
+// cache geometry it derives the access time from its circuit
+// components (decoder, wordline, bitline swing, sense amplifier,
+// output mux and the H-tree wiring into the mats) using the same wire
+// and MOSFET physics as the rest of the repository. The paper uses
+// CACTI-NUCA for cache latencies and wire links (§3.1.3, §5.1); here
+// the model's job is to show that the Table 4 latencies — and their
+// ≈2× improvement at 77 K — follow from the physics instead of being
+// quoted.
+package cacti
+
+import (
+	"fmt"
+	"math"
+
+	"cryowire/internal/phys"
+	"cryowire/internal/wire"
+)
+
+// Geometry describes one SRAM cache.
+type Geometry struct {
+	Name       string
+	CapacityKB int
+	Assoc      int
+	LineBytes  int
+	// Banks splits the array; each bank is accessed independently.
+	Banks int
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	switch {
+	case g.CapacityKB <= 0:
+		return fmt.Errorf("cacti: non-positive capacity for %s", g.Name)
+	case g.Assoc <= 0:
+		return fmt.Errorf("cacti: non-positive associativity for %s", g.Name)
+	case g.LineBytes <= 0:
+		return fmt.Errorf("cacti: non-positive line size for %s", g.Name)
+	case g.Banks <= 0:
+		return fmt.Errorf("cacti: non-positive bank count for %s", g.Name)
+	}
+	return nil
+}
+
+// Standard cache geometries of the evaluation platform (Table 4).
+var (
+	// L1D is the 32 KB 8-way private first-level cache.
+	L1D = Geometry{Name: "L1D", CapacityKB: 32, Assoc: 8, LineBytes: 64, Banks: 1}
+	// L2 is the 256 KB 8-way private second-level cache.
+	L2 = Geometry{Name: "L2", CapacityKB: 256, Assoc: 8, LineBytes: 64, Banks: 2}
+	// L3Slice is one core's 1 MB shared-L3 slice.
+	L3Slice = Geometry{Name: "L3 slice", CapacityKB: 1024, Assoc: 16, LineBytes: 64, Banks: 4}
+)
+
+// Model evaluates access times at operating points.
+type Model struct {
+	MOSFET *phys.MOSFET
+	// cell geometry of the 45 nm-class SRAM array
+	CellHeightUM float64 // 6T cell height, µm
+	CellWidthUM  float64 // 6T cell width, µm
+	// BitlineSwing is the fraction of a full swing the sense amp needs.
+	BitlineSwing float64
+}
+
+// NewModel returns the calibrated 45 nm SRAM model.
+func NewModel() *Model {
+	return &Model{
+		MOSFET:       phys.DefaultMOSFET(),
+		CellHeightUM: 1.0,
+		CellWidthUM:  1.25,
+		BitlineSwing: 0.12,
+	}
+}
+
+// Breakdown is the component decomposition of one access.
+type Breakdown struct {
+	DecoderNS  float64
+	WordlineNS float64
+	BitlineNS  float64
+	SenseNS    float64
+	HTreeNS    float64 // bank-internal request/response routing
+	TotalNS    float64
+}
+
+// subarray returns the rows/cols of one mat after banking; CACTI-style
+// partitioning: small (latency-critical) caches use short mats, large
+// caches amortize decoding over wider/taller mats and pay in H-tree.
+func (m *Model) subarray(g Geometry) (rows, cols int) {
+	bits := g.CapacityKB * 1024 * 8 / g.Banks
+	switch {
+	case g.CapacityKB <= 64:
+		cols, rows = 256, 256
+	default:
+		cols, rows = 512, 512
+	}
+	if rows*cols > bits {
+		rows = bits / cols
+		if rows < 64 {
+			rows = 64
+		}
+	}
+	return rows, cols
+}
+
+// senseSwing returns the required bitline swing at temperature t: the
+// sense margin shrinks with thermal noise, one of the effects CryoCache
+// exploits for its 2× cryogenic cache speed-up.
+func (m *Model) senseSwing(t phys.Kelvin) float64 {
+	frac := 0.35 + 0.65*float64(t)/300
+	if frac > 1 {
+		frac = 1
+	}
+	return m.BitlineSwing * frac
+}
+
+// matCount returns how many mats a bank folds into.
+func (m *Model) matCount(g Geometry) int {
+	bits := g.CapacityKB * 1024 * 8 / g.Banks
+	rows, cols := m.subarray(g)
+	n := bits / (rows * cols)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Access returns the access-time breakdown at the operating point.
+func (m *Model) Access(g Geometry, op phys.OperatingPoint) (Breakdown, error) {
+	if err := g.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := op.Valid(); err != nil {
+		return Breakdown{}, err
+	}
+	rows, cols := m.subarray(g)
+	drv := wire.DefaultDriver()
+	fo4 := drv.FO4(op, m.MOSFET)
+
+	var b Breakdown
+	// Decoder: log4(rows) stages of FO4-class gates plus predecode.
+	b.DecoderNS = (math.Ceil(math.Log(float64(rows))/math.Log(4)) + 1) * fo4 * 1e9
+	// Wordline: a local wire across the mat width driven by the row
+	// driver.
+	wlLenMM := float64(cols) * m.CellWidthUM / 1000
+	wl := wire.Line{Spec: wire.Local, LengthMM: wlLenMM, Driver: drv, DriverSize: 8}
+	b.WordlineNS = wl.ElmoreDelay(op, m.MOSFET) * 1e9
+	// Bitline: the cell discharges the bitline capacitance through its
+	// small access transistor until the sense swing is reached; delay ≈
+	// swing × (C_bl · V) / I_cell. C_bl from the local-wire capacitance
+	// over the mat height.
+	blLenMM := float64(rows) * m.CellHeightUM / 1000
+	cbl := wire.Local.CapPerMM * blLenMM
+	icell := 25e-6 * m.MOSFET.OnCurrentFactor(op) // A, minimum-size cell
+	b.BitlineNS = m.senseSwing(op.T) * cbl * float64(op.Vdd) / icell * 1e9
+	// Sense amp + output path: a few gate delays.
+	b.SenseNS = 2 * fo4 * 1e9
+	// H-tree into the selected mat and back: semi-global wiring across
+	// half the bank's mats each way.
+	mats := m.matCount(g)
+	htreeLenMM := math.Sqrt(float64(mats)) * float64(cols) * m.CellWidthUM / 1000
+	ht := wire.Line{Spec: wire.SemiGlobal, LengthMM: htreeLenMM, Driver: drv, DriverSize: 16}
+	b.HTreeNS = 2 * ht.ElmoreDelay(op, m.MOSFET) * 1e9
+	b.TotalNS = b.DecoderNS + b.WordlineNS + b.BitlineNS + b.SenseNS + b.HTreeNS
+	return b, nil
+}
+
+// AccessCycles returns the access time in cycles at the given clock.
+func (m *Model) AccessCycles(g Geometry, op phys.OperatingPoint, freqGHz float64) (int, error) {
+	b, err := m.Access(g, op)
+	if err != nil {
+		return 0, err
+	}
+	c := int(math.Ceil(b.TotalNS * freqGHz))
+	if c < 1 {
+		c = 1
+	}
+	return c, nil
+}
+
+// Op77Memory is the voltage-scaled point of the 77 K memory domain
+// (Table 4: the LLC/NoC domain runs at 0.55 V / 0.225 V).
+func Op77Memory() phys.OperatingPoint {
+	return phys.OperatingPoint{T: phys.T77, Vdd: 0.55, Vth: 0.225}
+}
+
+// Speedup77 returns access-time(300 K, nominal) / access-time(77 K,
+// scaled) — the quantity behind Table 4's "twice faster caches".
+func (m *Model) Speedup77(g Geometry) (float64, error) {
+	ref, err := m.Access(g, phys.Nominal45)
+	if err != nil {
+		return 0, err
+	}
+	cold, err := m.Access(g, Op77Memory())
+	if err != nil {
+		return 0, err
+	}
+	return ref.TotalNS / cold.TotalNS, nil
+}

@@ -1,0 +1,142 @@
+package cacti
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cryowire/internal/phys"
+)
+
+func TestTable4LatenciesDerived(t *testing.T) {
+	// Table 4 quotes 4/12/20 cycles @4 GHz for L1/L2/L3 at 300 K; the
+	// circuit-derived values must land in the neighbourhood (the
+	// published numbers include pipeline margins we don't model).
+	m := NewModel()
+	cases := []struct {
+		g        Geometry
+		wantLo   int
+		wantHi   int
+		paperCyc int
+	}{
+		{L1D, 3, 6, 4},
+		{L2, 9, 14, 12},
+		{L3Slice, 13, 22, 20},
+	}
+	for _, c := range cases {
+		cyc, err := m.AccessCycles(c.g, phys.Nominal45, 4.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cyc < c.wantLo || cyc > c.wantHi {
+			t.Errorf("%s: %d cycles @4GHz, want %d–%d (paper: %d)", c.g.Name, cyc, c.wantLo, c.wantHi, c.paperCyc)
+		}
+	}
+}
+
+func TestCryogenicCacheSpeedup(t *testing.T) {
+	// Table 4: the 77 K memory provides "twice faster caches".
+	m := NewModel()
+	for _, g := range []Geometry{L1D, L2, L3Slice} {
+		sp, err := m.Speedup77(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp < 1.8 || sp > 2.9 {
+			t.Errorf("%s 77K speedup = %v, want ≈2×", g.Name, sp)
+		}
+	}
+}
+
+func TestAccessBreakdownComponentsPositive(t *testing.T) {
+	m := NewModel()
+	b, err := m.Access(L2, phys.Nominal45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"decoder": b.DecoderNS, "wordline": b.WordlineNS, "bitline": b.BitlineNS,
+		"sense": b.SenseNS, "htree": b.HTreeNS,
+	} {
+		if v <= 0 {
+			t.Errorf("%s component = %v, want > 0", name, v)
+		}
+	}
+	sum := b.DecoderNS + b.WordlineNS + b.BitlineNS + b.SenseNS + b.HTreeNS
+	if sum != b.TotalNS {
+		t.Errorf("components sum %v != total %v", sum, b.TotalNS)
+	}
+}
+
+func TestLargerCachesAreSlower(t *testing.T) {
+	m := NewModel()
+	prev := 0.0
+	for _, g := range []Geometry{L1D, L2, L3Slice} {
+		b, err := m.Access(g, phys.Nominal45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.TotalNS <= prev {
+			t.Errorf("%s (%v ns) not slower than the smaller cache (%v ns)", g.Name, b.TotalNS, prev)
+		}
+		prev = b.TotalNS
+	}
+}
+
+func TestBankingReducesLatency(t *testing.T) {
+	m := NewModel()
+	mono := Geometry{Name: "mono", CapacityKB: 1024, Assoc: 16, LineBytes: 64, Banks: 1}
+	banked := Geometry{Name: "banked", CapacityKB: 1024, Assoc: 16, LineBytes: 64, Banks: 8}
+	bm, err := m.Access(mono, phys.Nominal45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := m.Access(banked, phys.Nominal45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.TotalNS > bm.TotalNS {
+		t.Errorf("banking made the cache slower: %v vs %v ns", bb.TotalNS, bm.TotalNS)
+	}
+}
+
+func TestCoolingSpeedsEveryGeometry(t *testing.T) {
+	m := NewModel()
+	f := func(capRaw uint8) bool {
+		capKB := 16 << (capRaw % 7) // 16..1024 KB
+		g := Geometry{Name: "q", CapacityKB: capKB, Assoc: 8, LineBytes: 64, Banks: 1}
+		warm, err1 := m.Access(g, phys.Nominal45)
+		cold, err2 := m.Access(g, Op77Memory())
+		return err1 == nil && err2 == nil && cold.TotalNS < warm.TotalNS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	m := NewModel()
+	bad := []Geometry{
+		{Name: "a", CapacityKB: 0, Assoc: 8, LineBytes: 64, Banks: 1},
+		{Name: "b", CapacityKB: 32, Assoc: 0, LineBytes: 64, Banks: 1},
+		{Name: "c", CapacityKB: 32, Assoc: 8, LineBytes: 0, Banks: 1},
+		{Name: "d", CapacityKB: 32, Assoc: 8, LineBytes: 64, Banks: 0},
+	}
+	for _, g := range bad {
+		if _, err := m.Access(g, phys.Nominal45); err == nil {
+			t.Errorf("Access(%s) should fail validation", g.Name)
+		}
+	}
+	if _, err := m.Access(L1D, phys.OperatingPoint{T: -1, Vdd: 1, Vth: 0.4}); err == nil {
+		t.Error("invalid operating point should be rejected")
+	}
+}
+
+func TestSenseSwingShrinksWithCooling(t *testing.T) {
+	m := NewModel()
+	if m.senseSwing(phys.T77) >= m.senseSwing(phys.T300) {
+		t.Error("sense swing should shrink at 77K (CryoCache margin effect)")
+	}
+	if m.senseSwing(400) != m.BitlineSwing {
+		t.Error("swing should clamp at the room-temperature value above 300K")
+	}
+}

@@ -1,0 +1,148 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cryowire/internal/phys"
+	"cryowire/internal/wire"
+)
+
+func TestSingleRCStepResponse(t *testing.T) {
+	// A lumped RC through a driver charges as 1−e^{−t/τ}: the 50 %
+	// crossing is ln2·τ with τ = RDrive·C (no wire resistance).
+	ld := Ladder{RDrive: 1000, RTotal: 1e-9, CTotal: 0, CLoad: 1e-12, Segments: 1}
+	got, err := ld.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Ln2 * 1000 * 1e-12
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("RC 50%% delay = %v, want %v (±1%%)", got, want)
+	}
+}
+
+func TestDistributedWireNearElmore(t *testing.T) {
+	// For a distributed RC line the 50 % delay is within ~15 % of the
+	// 0.38/0.69-coefficient Elmore estimate (that is what those fitted
+	// coefficients are for).
+	ld := Ladder{RDrive: 500, RTotal: 5000, CTotal: 400e-15, CLoad: 20e-15, Segments: 80}
+	got, err := ld.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elmore := ld.ElmoreDelay()
+	if math.Abs(got-elmore)/elmore > 0.15 {
+		t.Errorf("transient %v vs Elmore %v differ by more than 15%%", got, elmore)
+	}
+}
+
+func TestConvergenceInSegments(t *testing.T) {
+	base := Ladder{RDrive: 500, RTotal: 5000, CTotal: 400e-15, CLoad: 20e-15}
+	coarse := base
+	coarse.Segments = 40
+	fine := base
+	fine.Segments = 120
+	dc, err := coarse.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := fine.Delay50()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dc-df)/df > 0.02 {
+		t.Errorf("discretization not converged: 40 segs %v vs 120 segs %v", dc, df)
+	}
+}
+
+func TestDelayMonotoneProperties(t *testing.T) {
+	f := func(rawR, rawC uint8) bool {
+		r := 100 + float64(rawR)*40
+		c := (50 + float64(rawC)*4) * 1e-15
+		a := Ladder{RDrive: r, RTotal: 2000, CTotal: c, CLoad: 10e-15, Segments: 20}
+		b := a
+		b.RTotal = 4000 // more wire resistance must be slower
+		da, err1 := a.Delay50()
+		db, err2 := b.Delay50()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return db > da
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadLadders(t *testing.T) {
+	bad := []Ladder{
+		{RDrive: 100, RTotal: 100, CTotal: 1e-13, Segments: 0},
+		{RDrive: 0, RTotal: 100, CTotal: 1e-13, Segments: 1},
+		{RDrive: 100, RTotal: -1, CTotal: 1e-13, Segments: 1},
+		{RDrive: 100, RTotal: 100, CTotal: 0, CLoad: 0, Segments: 1},
+	}
+	for i, ld := range bad {
+		if err := ld.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) = nil, want error", i, ld)
+		}
+		if _, err := ld.Delay50(); err == nil {
+			t.Errorf("case %d: Delay50 should propagate validation error", i)
+		}
+	}
+}
+
+func TestWireSpeedupMatchesAnalyticModel(t *testing.T) {
+	// The transient solver must agree with the analytic wire model on
+	// the 300K→77K speed-up of the forwarding wire (same physics, two
+	// numerical routes — this is the §3 validation discipline).
+	m := phys.DefaultMOSFET()
+	l := wire.NewLine(wire.Forwarding, wire.ForwardingWireLengthMM, 50)
+	op := wire.At77()
+	d300, err := SimulateWireDelay(l, phys.Nominal45, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d77, err := SimulateWireDelay(l, op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSpeedup := d300 / d77
+	analytic := wire.Speedup(l, op, m, false)
+	if math.Abs(simSpeedup-analytic)/analytic > 0.05 {
+		t.Errorf("transient speedup %v vs analytic %v differ by >5%%", simSpeedup, analytic)
+	}
+}
+
+func TestFig10LinkValidation(t *testing.T) {
+	// Fig 10: the wire-link model's 6 mm 77 K speed-up (3.05×) matches
+	// the transient ("Hspice") simulation within a small error — the
+	// paper reports 1.6 %; we accept 5 %.
+	m := phys.DefaultMOSFET()
+	lk := wire.CryoBusLink()
+	op := wire.At77()
+	sim, err := SimulatedLinkSpeedup(lk, op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := lk.LinkSpeedup(op, m)
+	errFrac := math.Abs(sim-model) / model
+	if errFrac > 0.05 {
+		t.Errorf("link model %.3f vs transient %.3f: error %.1f%% > 5%%", model, sim, errFrac*100)
+	}
+	if sim < 2.7 || sim > 3.4 {
+		t.Errorf("transient 6mm link speedup = %v, want near 3.05", sim)
+	}
+}
+
+func TestDelayPositiveAndFinite(t *testing.T) {
+	f := func(rawLen uint8) bool {
+		l := wire.NewLine(wire.SemiGlobal, 0.1+float64(rawLen)/100, 5)
+		d, err := SimulateWireDelay(l, phys.Nominal45, phys.DefaultMOSFET())
+		return err == nil && d > 0 && !math.IsInf(d, 0) && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package coherence implements the two cache-coherence protocols of
+// Table 4: a directory-based MESI protocol (used by the Mesh designs,
+// with the L3 slices keeping directory state for their address range)
+// and a snooping MESI protocol (used by CryoBus). Given a memory access
+// it returns the network message sequence ("legs") the protocol
+// generates, which the full-system simulator turns into real packets on
+// the cycle-level NoC.
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// State is a MESI line state.
+type State int
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// LegKind classifies one message of a transaction.
+type LegKind int
+
+// Message kinds.
+const (
+	// Request is a control message to the home node (directory) or a
+	// broadcast (snoop).
+	Request LegKind = iota
+	// Forward is a directory-to-owner intervention.
+	Forward
+	// Data carries a cache line.
+	Data
+	// Invalidate is a directory-to-sharer invalidation (acks are
+	// folded into the same leg's round trip).
+	Invalidate
+)
+
+// Leg is one network message of a coherence transaction. To == -1
+// denotes a broadcast.
+type Leg struct {
+	From, To int
+	Kind     LegKind
+}
+
+// Transaction is the ordered message sequence a protocol produced,
+// plus whether DRAM is accessed at the home node (L3 miss) and whether
+// the L3 array is accessed.
+type Transaction struct {
+	Legs     []Leg
+	L3Access bool
+	DRAM     bool
+	// Invalidations is the parallel fan-out stage of a directory write
+	// to a shared line: one message per sharer, all of which must be
+	// delivered (acks collected) before the data leg may proceed. The
+	// fan-out is what makes widely-shared lines (locks, barrier flags)
+	// pathological on directory protocols; a snooping broadcast
+	// invalidates everyone for free.
+	Invalidations []Leg
+	// CacheToCache reports that the data came from a remote L2, not
+	// the L3/DRAM (the fast path snooping gives barrier-heavy code).
+	CacheToCache bool
+}
+
+// line is the tracked global state of one cache line. Sharers are a
+// bitset so iteration is deterministic (simulation reproducibility).
+type line struct {
+	state   State
+	owner   int
+	sharers bitset
+}
+
+// bitset tracks up to 256 sharer cores.
+type bitset [4]uint64
+
+func (b *bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b *bitset) clear()         { *b = bitset{} }
+func (b *bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// count returns the number of set bits.
+func (b *bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for w != 0 {
+			w &= w - 1
+			n++
+		}
+	}
+	return n
+}
+
+// each calls f for every set bit in ascending order.
+func (b *bitset) each(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			i := wi*64 + trailingZeros(w)
+			f(i)
+			w &= w - 1
+		}
+	}
+}
+
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+// Directory is the home-node-based MESI protocol engine. One Directory
+// instance tracks all lines; the home node of a line is supplied by the
+// caller (address interleaving across L3 slices).
+type Directory struct {
+	lines    map[uint64]*line
+	order    []uint64 // FIFO eviction order (deterministic)
+	capLines int
+}
+
+// NewDirectory builds a directory bounded to about capLines tracked
+// lines (older lines are evicted silently, mimicking finite L3/
+// directory capacity).
+func NewDirectory(capLines int) *Directory {
+	if capLines <= 0 {
+		capLines = 1 << 16
+	}
+	return &Directory{lines: make(map[uint64]*line), capLines: capLines}
+}
+
+// get fetches or creates the line entry.
+func (d *Directory) get(addr uint64) *line {
+	l, ok := d.lines[addr]
+	if !ok {
+		for len(d.lines) >= d.capLines && len(d.order) > 0 {
+			victim := d.order[0]
+			d.order = d.order[1:]
+			delete(d.lines, victim)
+		}
+		l = &line{state: Invalid, owner: -1}
+		d.lines[addr] = l
+		d.order = append(d.order, addr)
+	}
+	return l
+}
+
+// State reports the tracked state of addr (Invalid if untracked).
+func (d *Directory) State(addr uint64) (State, int, int) {
+	l, ok := d.lines[addr]
+	if !ok {
+		return Invalid, -1, 0
+	}
+	return l.state, l.owner, l.sharers.count()
+}
+
+// Access performs a read (write=false) or write (write=true) by core
+// against the line whose L3 home slice is home, returning the message
+// sequence. l3Hit tells the protocol whether the home L3 slice holds
+// the line when no cache owns it.
+func (d *Directory) Access(addr uint64, core, home int, write, l3Hit bool) Transaction {
+	l := d.get(addr)
+	tx := Transaction{}
+	req := Leg{From: core, To: home, Kind: Request}
+	tx.Legs = append(tx.Legs, req)
+	switch l.state {
+	case Invalid:
+		tx.L3Access = true
+		tx.DRAM = !l3Hit
+		tx.Legs = append(tx.Legs, Leg{From: home, To: core, Kind: Data})
+		if write {
+			l.state = Modified
+			l.owner = core
+		} else {
+			l.state = Exclusive
+			l.owner = core
+		}
+	case Exclusive, Modified:
+		if l.owner == core {
+			// Silent upgrade/hit at the owner — still a directory call
+			// because the simulator only consults us on L2 misses; treat
+			// as L3-refresh.
+			tx.L3Access = true
+			tx.Legs = append(tx.Legs, Leg{From: home, To: core, Kind: Data})
+			if write {
+				l.state = Modified
+			}
+			break
+		}
+		// 3-hop: forward to owner, owner supplies the data.
+		tx.CacheToCache = true
+		tx.Legs = append(tx.Legs,
+			Leg{From: home, To: l.owner, Kind: Forward},
+			Leg{From: l.owner, To: core, Kind: Data},
+		)
+		if write {
+			l.sharers.clear()
+			l.state = Modified
+			l.owner = core
+		} else {
+			l.sharers.set(l.owner)
+			l.sharers.set(core)
+			l.state = Shared
+			l.owner = -1
+		}
+	case Shared:
+		if write {
+			// Invalidate every sharer; the requester's data waits for
+			// all acks.
+			l.sharers.each(func(s int) {
+				if s != core {
+					tx.Invalidations = append(tx.Invalidations, Leg{From: home, To: s, Kind: Invalidate})
+				}
+			})
+			tx.L3Access = true
+			tx.Legs = append(tx.Legs, Leg{From: home, To: core, Kind: Data})
+			l.sharers.clear()
+			l.state = Modified
+			l.owner = core
+		} else {
+			tx.L3Access = true
+			tx.Legs = append(tx.Legs, Leg{From: home, To: core, Kind: Data})
+			l.sharers.set(core)
+		}
+	}
+	return tx
+}
+
+// CheckInvariants verifies the MESI global invariants over all tracked
+// lines; it returns the first violation found.
+func (d *Directory) CheckInvariants() error {
+	for addr, l := range d.lines {
+		switch l.state {
+		case Modified, Exclusive:
+			if l.owner < 0 {
+				return fmt.Errorf("coherence: line %#x in %v without owner", addr, l.state)
+			}
+			if l.sharers.count() != 0 {
+				return fmt.Errorf("coherence: line %#x in %v with %d sharers", addr, l.state, l.sharers.count())
+			}
+		case Shared:
+			if l.owner != -1 {
+				return fmt.Errorf("coherence: line %#x Shared with owner %d", addr, l.owner)
+			}
+			if l.sharers.count() == 0 {
+				return fmt.Errorf("coherence: line %#x Shared with no sharers", addr)
+			}
+		}
+	}
+	return nil
+}
+
+// Snoop is the broadcast-based MESI engine for the CryoBus designs:
+// every L2 miss broadcasts on the bus; the owner (or the home L3
+// slice) answers with a directed data transfer that CryoBus's dynamic
+// link connection routes point-to-point (§5.2.3).
+type Snoop struct {
+	lines    map[uint64]*line
+	order    []uint64
+	capLines int
+}
+
+// NewSnoop builds the snooping engine.
+func NewSnoop(capLines int) *Snoop {
+	if capLines <= 0 {
+		capLines = 1 << 16
+	}
+	return &Snoop{lines: make(map[uint64]*line), capLines: capLines}
+}
+
+func (s *Snoop) get(addr uint64) *line {
+	l, ok := s.lines[addr]
+	if !ok {
+		for len(s.lines) >= s.capLines && len(s.order) > 0 {
+			victim := s.order[0]
+			s.order = s.order[1:]
+			delete(s.lines, victim)
+		}
+		l = &line{state: Invalid, owner: -1}
+		s.lines[addr] = l
+		s.order = append(s.order, addr)
+	}
+	return l
+}
+
+// Access performs the snooping transaction. The broadcast request is
+// one bus transaction; the data reply is a directed transfer.
+func (s *Snoop) Access(addr uint64, core, home int, write, l3Hit bool) Transaction {
+	l := s.get(addr)
+	tx := Transaction{}
+	// Snoop broadcast: the request itself reaches every cache.
+	tx.Legs = append(tx.Legs, Leg{From: core, To: -1, Kind: Request})
+	supplier := home
+	switch l.state {
+	case Modified, Exclusive:
+		if l.owner != core {
+			supplier = l.owner
+			tx.CacheToCache = true
+		} else {
+			tx.L3Access = true
+		}
+	case Shared:
+		// Any sharer or the L3 supplies; L3 is the common case.
+		tx.L3Access = true
+	case Invalid:
+		tx.L3Access = true
+		tx.DRAM = !l3Hit
+	}
+	tx.Legs = append(tx.Legs, Leg{From: supplier, To: core, Kind: Data})
+	// State update: the broadcast invalidates on writes — no extra
+	// messages needed (that is the snooping advantage).
+	if write {
+		l.state = Modified
+		l.owner = core
+		l.sharers.clear()
+	} else {
+		switch l.state {
+		case Invalid:
+			l.state = Exclusive
+			l.owner = core
+		case Exclusive, Modified:
+			if l.owner != core {
+				l.sharers.set(l.owner)
+				l.sharers.set(core)
+				l.state = Shared
+				l.owner = -1
+			}
+		case Shared:
+			l.sharers.set(core)
+		}
+	}
+	return tx
+}
+
+// State reports the tracked state of addr.
+func (s *Snoop) State(addr uint64) (State, int, int) {
+	l, ok := s.lines[addr]
+	if !ok {
+		return Invalid, -1, 0
+	}
+	return l.state, l.owner, l.sharers.count()
+}
+
+// CheckInvariants verifies the MESI invariants for the snooping engine.
+func (s *Snoop) CheckInvariants() error {
+	d := Directory{lines: s.lines}
+	return d.CheckInvariants()
+}

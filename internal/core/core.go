@@ -1,0 +1,153 @@
+// Package core composes the CryoWire system: it derives the paper's
+// two proposed microarchitectures (CryoSP, the frontend-superpipelined
+// 77 K core, and CryoBus, the H-tree snooping bus) from the device
+// models, assembles the five evaluation designs of Table 4, and runs
+// the full-system comparison of §6.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cryowire/internal/noc"
+	"cryowire/internal/phys"
+	"cryowire/internal/pipeline"
+	"cryowire/internal/power"
+	"cryowire/internal/sim"
+	"cryowire/internal/workload"
+)
+
+// CryoWire is the top-level model suite.
+type CryoWire struct {
+	MOSFET   *phys.MOSFET
+	Pipeline *pipeline.Model
+	Power    *power.Model
+	Factory  *sim.Factory
+}
+
+// New builds the default calibrated model suite.
+func New() *CryoWire {
+	m := phys.DefaultMOSFET()
+	return &CryoWire{
+		MOSFET:   m,
+		Pipeline: pipeline.NewModel(m),
+		Power:    power.NewModel(),
+		Factory:  sim.NewFactory(),
+	}
+}
+
+// CryoSPReport documents the CryoSP derivation (§4.4–§4.5).
+type CryoSPReport struct {
+	Baseline     pipeline.CoreSpec
+	Superpipe    pipeline.SuperpipelineResult
+	CryoSP       pipeline.CoreSpec
+	CHPCore      pipeline.CoreSpec
+	FreqGain300K float64 // CryoSP vs 300 K baseline (paper: 1.96×)
+	FreqGainCHP  float64 // CryoSP vs CHP-core (paper: 1.285×)
+}
+
+// DeriveCryoSP runs the full §4 flow: analyze the 77 K critical paths,
+// superpipeline the frontend, apply the CryoCore sizing and the Vdd/Vth
+// scaling, and report the resulting clocks.
+func (c *CryoWire) DeriveCryoSP() CryoSPReport {
+	r := CryoSPReport{
+		Baseline:  pipeline.Baseline300(c.Pipeline),
+		Superpipe: c.Pipeline.Superpipeline(pipeline.BOOM(), pipeline.At77()),
+		CryoSP:    pipeline.CryoSP(c.Pipeline),
+		CHPCore:   pipeline.CHPCore(c.Pipeline),
+	}
+	r.FreqGain300K = r.CryoSP.FreqGHz / r.Baseline.FreqGHz
+	r.FreqGainCHP = r.CryoSP.FreqGHz / r.CHPCore.FreqGHz
+	return r
+}
+
+// CryoBusReport documents the CryoBus design point (§5.2).
+type CryoBusReport struct {
+	Bus *noc.Bus
+	// BroadcastCycles is the snoop latency (paper: 1 cycle at 77 K).
+	BroadcastCycles float64
+	// MaxHops is the H-tree span (12) vs the serpentine baseline (30).
+	MaxHops, SerpentineHops int
+	// ZeroLoadCycles is the full request→grant→broadcast latency.
+	ZeroLoadCycles float64
+}
+
+// DesignCryoBus instantiates the 77 K CryoBus for the 64-core system
+// and reports its headline latencies.
+func (c *CryoWire) DesignCryoBus() CryoBusReport {
+	t := noc.BusTiming(noc.Op77(), c.MOSFET)
+	bus := noc.NewCryoBus(64, t)
+	_, _, _, bc := bus.Breakdown()
+	return CryoBusReport{
+		Bus:             bus,
+		BroadcastCycles: bc,
+		MaxHops:         noc.NewHTree(64).BroadcastHops(),
+		SerpentineHops:  noc.NewSerpentine(64).BroadcastHops(),
+		ZeroLoadCycles:  bus.ZeroLoadLatency(),
+	}
+}
+
+// EvalResult is one (design, workload) outcome with the normalized
+// speed-up relative to the reference design.
+type EvalResult struct {
+	sim.Result
+	Speedup float64 // vs the reference design on the same workload
+}
+
+// Evaluation is the full Fig 23-style comparison.
+type Evaluation struct {
+	Workloads []string
+	Designs   []string
+	// Perf[w][d] is absolute performance (instructions/ns).
+	Perf [][]float64
+	// MeanSpeedup[d] is the geometric-mean speed-up of design d over
+	// the reference design (index RefIndex).
+	MeanSpeedup []float64
+	RefIndex    int
+}
+
+// Evaluate runs every design × workload pair. ref selects the
+// normalization design index (the paper normalizes Fig 23 to
+// CHP-core(77K, Mesh), index 1).
+func (c *CryoWire) Evaluate(designs []sim.Design, profiles []workload.Profile, ref int, cfg sim.Config) (Evaluation, error) {
+	if ref < 0 || ref >= len(designs) {
+		return Evaluation{}, fmt.Errorf("core: reference index %d out of range", ref)
+	}
+	ev := Evaluation{RefIndex: ref}
+	for _, d := range designs {
+		ev.Designs = append(ev.Designs, d.Name)
+	}
+	geo := make([]float64, len(designs))
+	for _, p := range profiles {
+		ev.Workloads = append(ev.Workloads, p.Name)
+		row := make([]float64, len(designs))
+		for di, d := range designs {
+			s, err := sim.New(d, p, cfg)
+			if err != nil {
+				return Evaluation{}, err
+			}
+			row[di] = s.Run().Performance
+		}
+		ev.Perf = append(ev.Perf, row)
+	}
+	for di := range designs {
+		prod := 1.0
+		for wi := range ev.Workloads {
+			prod *= ev.Perf[wi][di] / ev.Perf[wi][ev.RefIndex]
+		}
+		geo[di] = math.Pow(prod, 1/float64(len(ev.Workloads)))
+	}
+	ev.MeanSpeedup = geo
+	return ev, nil
+}
+
+// SortedNames returns profile names in deterministic order.
+func SortedNames(ps []workload.Profile) []string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryowire/internal/cacti"
+	"cryowire/internal/dram"
+	"cryowire/internal/phys"
+)
+
+// table4DerivedRows builds the Table4Derived report rows from the
+// circuit-level cache and DRAM models.
+func table4DerivedRows() ([][]string, error) {
+	m := cacti.NewModel()
+	var rows [][]string
+	caches := []struct {
+		g      cacti.Geometry
+		quoted string
+	}{
+		{cacti.L1D, "4 cyc @4GHz"},
+		{cacti.L2, "12 cyc @4GHz"},
+		{cacti.L3Slice, "20 cyc @4GHz"},
+	}
+	for _, c := range caches {
+		cyc, err := m.AccessCycles(c.g, phys.Nominal45, 4.0)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := m.Speedup77(c.g)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			c.g.Name, c.quoted, fmt.Sprintf("%d cyc @4GHz", cyc), f2(sp),
+		})
+	}
+	d300 := dram.DDR4().RandomAccessNS()
+	d77 := dram.CLLDRAM().RandomAccessNS()
+	rows = append(rows, []string{
+		"DRAM random access", "60.32 / 15.84 ns",
+		fmt.Sprintf("%.2f / %.2f ns", d300, d77), f2(d300 / d77),
+	})
+	return rows, nil
+}

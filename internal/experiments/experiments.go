@@ -1,0 +1,125 @@
+// Package experiments reproduces every table and figure with data in
+// the CryoWire paper. Each runner returns a typed Report that the CLI,
+// the benchmarks and EXPERIMENTS.md rendering share. DESIGN.md maps
+// experiment IDs to paper sections; EXPERIMENTS.md records model-vs-
+// paper numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cryowire/internal/sim"
+)
+
+// Report is one reproduced table or figure.
+type Report struct {
+	ID    string // "fig5", "table3", ...
+	Title string
+	// Notes carry the paper's anchor values and any known deviation.
+	Notes  []string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Render returns the report as a fixed-width text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tunes the simulation-backed experiments.
+type Options struct {
+	Sim sim.Config
+	// Quick shrinks sweeps for tests and benchmarks.
+	Quick bool
+}
+
+// DefaultOptions returns CLI-grade run lengths.
+func DefaultOptions() Options {
+	return Options{Sim: sim.Config{WarmupCycles: 4000, MeasureCycles: 16000, Seed: 1}}
+}
+
+// QuickOptions returns test/bench-grade run lengths.
+func QuickOptions() Options {
+	return Options{Sim: sim.Config{WarmupCycles: 1200, MeasureCycles: 5000, Seed: 1}, Quick: true}
+}
+
+// Runner produces a report.
+type Runner func(Options) (*Report, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{}
+
+// register installs a runner (called from init functions).
+func register(id string, r Runner) {
+	registry[id] = r
+}
+
+// IDs returns all experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opt Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(opt)
+}
+
+// f2 formats a float with 2 decimals; f3 with 3.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
+}

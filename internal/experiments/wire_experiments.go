@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryowire/internal/circuit"
+	"cryowire/internal/floorplan"
+	"cryowire/internal/noc"
+	"cryowire/internal/phys"
+	"cryowire/internal/pipeline"
+	"cryowire/internal/wire"
+)
+
+func init() {
+	register("fig2", Fig2)
+	register("fig5", Fig5)
+	register("fig9", Fig9)
+	register("fig10", Fig10)
+	register("fig12", Fig12)
+	register("fig13", Fig13)
+	register("fig14", Fig14)
+	register("table1", Table1)
+	register("table2", Table2)
+}
+
+// Fig2 reproduces the critical-path breakdown of the three slowest
+// backend stages.
+func Fig2(Options) (*Report, error) {
+	r := &Report{
+		ID:     "fig2",
+		Title:  "Critical-path delay breakdown of the three slowest stages (300K)",
+		Header: []string{"stage", "transistor", "wire", "wire portion"},
+		Notes:  []string{"paper: 57.6% average wire portion across the three stages"},
+	}
+	p := pipeline.BOOM()
+	sum := 0.0
+	n := 0
+	for _, s := range p.Stages {
+		switch s.Name {
+		case "writeback", "execute bypass", "data read from bypass":
+			r.AddRow(s.Name, f3(s.Tr), f3(s.Wire), pct(s.WireFraction()))
+			sum += s.WireFraction()
+			n++
+		}
+	}
+	r.AddRow("average", "", "", pct(sum/float64(n)))
+	return r, nil
+}
+
+// Fig5 reproduces the 77 K wire speed-up study, without (a) and with
+// (b) repeaters.
+func Fig5(opt Options) (*Report, error) {
+	r := &Report{
+		ID:     "fig5",
+		Title:  "77K wire speed-up vs length, without (a) and with (b) repeaters",
+		Header: []string{"length(mm)", "local (a)", "semi-global (a)", "semi-global (b)", "global (b)"},
+		Notes: []string{
+			"paper anchors: (a) long local 2.95x, long semi-global 3.69x",
+			"paper anchors: (b) 0.9mm semi-global 2.25x, 6.22mm global 3.38x",
+		},
+	}
+	m := phys.DefaultMOSFET()
+	op := wire.At77()
+	lengths := []float64{0.1, 0.3, 0.9, 2, 4, 6.22, 10}
+	if opt.Quick {
+		lengths = []float64{0.9, 6.22}
+	}
+	for _, l := range lengths {
+		local := wire.NewLine(wire.Local, l, 1+l*10)
+		semi := wire.NewLine(wire.SemiGlobal, l, 1+l*10)
+		semiRep := wire.NewLine(wire.SemiGlobal, l, 1)
+		globalRep := wire.NewLine(wire.Global, l, 1)
+		r.AddRow(f2(l),
+			f2(wire.Speedup(local, op, m, false)),
+			f2(wire.Speedup(semi, op, m, false)),
+			f2(wire.Speedup(semiRep, op, m, true)),
+			f2(wire.Speedup(globalRep, op, m, true)),
+		)
+	}
+	return r, nil
+}
+
+// paper-measured validation anchors for Fig 9 (§3.2.3): the LN-cooled
+// boards' frequency speed-ups at 135 K, ITRS-projected to the model's
+// 45 nm node.
+var fig9Measured = []struct {
+	name     string
+	techNM   int
+	kind     string
+	measured float64
+}{
+	{"i7-2700K router", 32, "router", 1.040},
+	{"i7-4790K router", 22, "router", 1.046},
+	{"i5-6600K router", 14, "router", 1.052},
+	{"i5-6600K pipeline", 14, "pipeline", 1.121},
+}
+
+// Fig9 reproduces the pipeline/router model validation at 135 K.
+func Fig9(Options) (*Report, error) {
+	r := &Report{
+		ID:     "fig9",
+		Title:  "Pipeline and router model validation at 135K",
+		Header: []string{"device", "tech", "measured", "model", "error"},
+		Notes: []string{
+			"paper: pipeline model 15.0% vs measured 12.1%; router max error 2.8%",
+			"measured column reproduces the paper's published board results",
+		},
+	}
+	m := phys.DefaultMOSFET()
+	md := pipeline.NewModel(m)
+	op := phys.OperatingPoint{T: phys.T135, Vdd: phys.Nominal45.Vdd, Vth: phys.Nominal45.Vth}
+	pipeModel := md.MaxFrequencyGHz(pipeline.BOOM(), op) / md.MaxFrequencyGHz(pipeline.BOOM(), phys.Nominal45)
+	routerModel := noc.RouterSpeedup(op, m)
+	for _, c := range fig9Measured {
+		model := routerModel
+		if c.kind == "pipeline" {
+			model = pipeModel
+		}
+		errFrac := (model - c.measured) / c.measured
+		r.AddRow(c.name, fmt.Sprintf("%dnm", c.techNM), f3(c.measured), f3(model), pct(errFrac))
+	}
+	return r, nil
+}
+
+// Fig10 validates the wire-link model against the transient circuit
+// solver at the 6 mm CryoBus link length.
+func Fig10(Options) (*Report, error) {
+	r := &Report{
+		ID:     "fig10",
+		Title:  "6mm wire-link model vs transient (Hspice-lite) simulation at 77K",
+		Header: []string{"quantity", "link model", "transient sim", "error"},
+		Notes:  []string{"paper: model speed-up 3.05x, 1.6% error vs Hspice"},
+	}
+	m := phys.DefaultMOSFET()
+	lk := wire.CryoBusLink()
+	op := wire.At77()
+	model := lk.LinkSpeedup(op, m)
+	simv, err := circuit.SimulatedLinkSpeedup(lk, op, m)
+	if err != nil {
+		return nil, err
+	}
+	errFrac := (model - simv) / simv
+	r.AddRow("77K speed-up of 6mm link", f3(model), f3(simv), pct(errFrac))
+	return r, nil
+}
+
+// stageTable renders per-stage critical paths at an operating point.
+func stageTable(id, title string, p pipeline.Pipeline, op phys.OperatingPoint, notes ...string) *Report {
+	r := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"stage", "frontend", "delay (norm.)", "wire portion @300K"},
+		Notes:  notes,
+	}
+	md := pipeline.NewModel(phys.DefaultMOSFET())
+	worst, max := md.CriticalPath(p, op)
+	for _, s := range p.Stages {
+		fe := ""
+		if s.Frontend {
+			fe = "yes"
+		}
+		r.AddRow(s.Name, fe, f3(md.StageDelay(s, op)), pct(s.WireFraction()))
+	}
+	r.AddRow("** max **", "", f3(max), worst.Name)
+	return r
+}
+
+// Fig12 reproduces the 300 K stage-wise critical paths.
+func Fig12(Options) (*Report, error) {
+	return stageTable("fig12", "Stage-wise critical path at 300K (normalized)",
+		pipeline.BOOM(), phys.Nominal45,
+		"paper: execute bypass is the 300K bottleneck (backend forwarding stages)"), nil
+}
+
+// Fig13 reproduces the 77 K stage-wise critical paths.
+func Fig13(Options) (*Report, error) {
+	return stageTable("fig13", "Stage-wise critical path at 77K (normalized to 300K max)",
+		pipeline.BOOM(), pipeline.At77(),
+		"paper: the bottleneck moves to the frontend; max path falls only ~19%"), nil
+}
+
+// Fig14 reproduces the superpipelined 77 K critical paths.
+func Fig14(Options) (*Report, error) {
+	md := pipeline.NewModel(phys.DefaultMOSFET())
+	res := md.Superpipeline(pipeline.BOOM(), pipeline.At77())
+	return stageTable("fig14", "Critical path after frontend superpipelining at 77K",
+		res.Pipeline, pipeline.At77(),
+		"paper: max critical path falls 38.0% vs 300K baseline (frequency +61%)",
+		fmt.Sprintf("split stages: %v (target: %s)", res.SplitStages, res.TargetStage)), nil
+}
+
+// Table1 reproduces the execution-cluster geometry.
+func Table1(Options) (*Report, error) {
+	r := &Report{
+		ID:     "table1",
+		Title:  "ALU/register-file geometry and forwarding-wire length",
+		Header: []string{"unit", "area (um^2)", "width (um)", "height (um)"},
+		Notes:  []string{"paper: forwarding wire = 8xALU + regfile heights = 1686 um"},
+	}
+	alu := floorplan.Unit{Name: "ALU", AreaUM: floorplan.ALUArea, Width: floorplan.ALUWidth}
+	rf := floorplan.Unit{Name: "Register file", AreaUM: floorplan.RegFileArea, Width: floorplan.RegFileWidth}
+	r.AddRow("ALU", f1(alu.AreaUM), f1(float64(alu.Width)), f1(float64(alu.Height())))
+	r.AddRow("Register file", f1(rf.AreaUM), f1(float64(rf.Width)), f1(float64(rf.Height())))
+	r.AddRow("Forwarding wire", "", "", fmt.Sprintf("%.0f um long", float64(floorplan.ForwardingWireLength())))
+	return r, nil
+}
+
+// Table2 lists the validation hardware (static data from §3.2.1).
+func Table2(Options) (*Report, error) {
+	r := &Report{
+		ID:     "table2",
+		Title:  "CPU and mainboard specification for the validation (static data)",
+		Header: []string{"technology", "microarchitecture", "model", "mainboard"},
+	}
+	r.AddRow("32nm", "Sandy Bridge", "i7-2700K", "GA-Z77X-UD3H")
+	r.AddRow("22nm", "Haswell", "i7-4790K", "GA-Z97X-UD5H")
+	r.AddRow("14nm", "Skylake", "i5-6600K", "GA-Z170X-Gaming 7")
+	return r, nil
+}

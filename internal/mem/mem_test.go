@@ -1,0 +1,118 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"cryowire/internal/phys"
+	"cryowire/internal/wire"
+)
+
+func TestTable4MemorySpecs(t *testing.T) {
+	m300 := Mem300()
+	m77 := Mem77()
+	// Table 4 latencies at the 4 GHz reference clock.
+	if m300.L1.LatencyCycles != 4 || m300.L2.LatencyCycles != 12 || m300.L3.LatencyCycles != 20 {
+		t.Errorf("300K cache latencies wrong: %+v", m300)
+	}
+	if m77.L1.LatencyCycles != 2 || m77.L2.LatencyCycles != 6 || m77.L3.LatencyCycles != 10 {
+		t.Errorf("77K cache latencies wrong: %+v", m77)
+	}
+	// §6.1.1: 77 K memory = 2× faster caches, 3.8× faster DRAM.
+	for _, pair := range [][2]int{
+		{m300.L1.LatencyCycles, m77.L1.LatencyCycles},
+		{m300.L2.LatencyCycles, m77.L2.LatencyCycles},
+		{m300.L3.LatencyCycles, m77.L3.LatencyCycles},
+	} {
+		if pair[0] != 2*pair[1] {
+			t.Errorf("77K cache not 2× faster: %d vs %d", pair[0], pair[1])
+		}
+	}
+	dramRatio := m300.DRAMLatencyNS / m77.DRAMLatencyNS
+	if math.Abs(dramRatio-3.81) > 0.05 {
+		t.Errorf("DRAM speedup = %v, want ≈3.8", dramRatio)
+	}
+}
+
+func TestLatencyNS(t *testing.T) {
+	c := CacheSpec{LatencyCycles: 20}
+	if got := c.LatencyNS(); got != 5.0 {
+		t.Errorf("20 cycles @4GHz = %v ns, want 5", got)
+	}
+}
+
+func TestForTemp(t *testing.T) {
+	if h := ForTemp(phys.T300); h.Name != "300K memory" {
+		t.Errorf("ForTemp(300K) = %s", h.Name)
+	}
+	for _, temp := range []phys.Kelvin{phys.T77, phys.T100, phys.T135} {
+		if h := ForTemp(temp); h.Name != "77K memory" {
+			t.Errorf("ForTemp(%vK) = %s, want 77K memory", temp, h.Name)
+		}
+	}
+}
+
+func TestDefaultNUCAGeometry(t *testing.T) {
+	n := DefaultNUCA()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.GridSide() != 8 {
+		t.Errorf("grid side = %d, want 8", n.GridSide())
+	}
+	if p := n.TilePitchMM(); p != 2.0 {
+		t.Errorf("tile pitch = %v mm, want 2 (the paper's NoC hop)", p)
+	}
+	if s := n.DieSideMM(); s != 16.0 {
+		t.Errorf("die side = %v mm, want 16", s)
+	}
+	// §3.2.2: the CryoBus wire-link length is 6 mm.
+	if seg := n.HTreeSegmentMM(); seg != 6.0 {
+		t.Errorf("H-tree segment = %v mm, want 6", seg)
+	}
+	// §5.2.1: 12-hop max distance on the H-tree vs 30 on the serpentine.
+	if h := n.HTreeMaxHops(); h != 12 {
+		t.Errorf("H-tree max hops = %d, want 12", h)
+	}
+	if h := n.SerpentineMaxHops(); h != 30 {
+		t.Errorf("serpentine max hops = %d, want 30", h)
+	}
+}
+
+func TestNUCAScaling(t *testing.T) {
+	// 256-core hybrid system: four 64-tile clusters — each cluster keeps
+	// the 64-tile geometry; a flat 256-tile layout has doubled spans.
+	n := NUCALayout{Banks: 256, TileAreaMM2: 4.0}
+	if n.GridSide() != 16 {
+		t.Errorf("256-bank grid side = %d, want 16", n.GridSide())
+	}
+	if h := n.HTreeMaxHops(); h != 24 {
+		t.Errorf("256-tile flat H-tree max hops = %d, want 24", h)
+	}
+	small := NUCALayout{Banks: 1, TileAreaMM2: 4.0}
+	if h := small.SerpentineMaxHops(); h < 1 {
+		t.Errorf("degenerate serpentine hops = %d, want clamped ≥ 1", h)
+	}
+}
+
+func TestNUCAValidate(t *testing.T) {
+	bad := []NUCALayout{{Banks: 0, TileAreaMM2: 4}, {Banks: 64, TileAreaMM2: 0}}
+	for _, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", n)
+		}
+	}
+}
+
+func TestLinkLatency(t *testing.T) {
+	m := phys.DefaultMOSFET()
+	n300 := LinkLatencyNS(6.0, phys.Nominal45, m)
+	n77 := LinkLatencyNS(6.0, wire.At77(), m)
+	if n300 <= 0 || n77 <= 0 {
+		t.Fatalf("non-positive link latencies: %v %v", n300, n77)
+	}
+	ratio := n300 / n77
+	if math.Abs(ratio-3.05)/3.05 > 0.02 {
+		t.Errorf("6mm link speedup = %v, want 3.05 (Fig 10)", ratio)
+	}
+}

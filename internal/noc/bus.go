@@ -1,0 +1,489 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatrixArbiter is the least-recently-granted arbiter CryoBus uses
+// (§5.2.2): a priority matrix where prio[i][j] means i beats j; after a
+// grant the winner drops below everyone else.
+type MatrixArbiter struct {
+	n    int
+	prio [][]bool
+}
+
+// NewMatrixArbiter builds an arbiter for n requesters.
+func NewMatrixArbiter(n int) *MatrixArbiter {
+	a := &MatrixArbiter{n: n, prio: make([][]bool, n)}
+	for i := range a.prio {
+		a.prio[i] = make([]bool, n)
+		for j := range a.prio[i] {
+			a.prio[i][j] = i < j
+		}
+	}
+	return a
+}
+
+// Grant picks the highest-priority requester (or -1) and updates the
+// matrix so the winner becomes lowest priority.
+func (a *MatrixArbiter) Grant(requests []bool) int {
+	if len(requests) != a.n {
+		panic(fmt.Sprintf("noc: arbiter sized %d got %d requests", a.n, len(requests)))
+	}
+	granted := -1
+	for i := 0; i < a.n; i++ {
+		if !requests[i] {
+			continue
+		}
+		wins := true
+		for j := 0; j < a.n; j++ {
+			if j != i && requests[j] && !a.prio[i][j] {
+				wins = false
+				break
+			}
+		}
+		if wins {
+			granted = i
+			break
+		}
+	}
+	if granted >= 0 {
+		for j := 0; j < a.n; j++ {
+			if j != granted {
+				a.prio[granted][j] = false
+				a.prio[j][granted] = true
+			}
+		}
+	}
+	return granted
+}
+
+// BusLayout describes the physical shape of a bus in 2 mm tile hops.
+type BusLayout interface {
+	Name() string
+	// BroadcastHops is the span a broadcast must cover (the max
+	// core-to-core distance).
+	BroadcastHops() int
+	// ReqHops is the distance from a node to the central arbiter.
+	ReqHops(node int) int
+	// PathHops is the distance between two nodes along the bus wires —
+	// what a dynamic-link point-to-point transfer covers.
+	PathHops(a, b int) int
+}
+
+// SerpentineLayout is the scaled conventional bidirectional bus of
+// Fig 15(d): nodes attach in dual-ported pairs along a snake over the
+// tile grid (30-hop span for 64 nodes).
+type SerpentineLayout struct {
+	NodesN int
+	Side   int
+}
+
+// NewSerpentine lays out n nodes on a √n grid.
+func NewSerpentine(n int) SerpentineLayout {
+	return SerpentineLayout{NodesN: n, Side: gridSide(n)}
+}
+
+// Name implements BusLayout.
+func (s SerpentineLayout) Name() string { return "serpentine" }
+
+// tap returns the bus tap index of a node.
+func (s SerpentineLayout) tap(node int) int {
+	y := node / s.Side
+	x := node % s.Side
+	if y%2 == 1 {
+		x = s.Side - 1 - x
+	}
+	return (y*s.Side + x) / 2
+}
+
+// BroadcastHops implements BusLayout: nodes/2 − 2 (30 for 64 nodes).
+func (s SerpentineLayout) BroadcastHops() int {
+	h := s.NodesN/2 - 2
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// ReqHops implements BusLayout: distance to the mid-bus arbiter.
+func (s SerpentineLayout) ReqHops(node int) int {
+	mid := s.BroadcastHops() / 2
+	d := s.tap(node) - mid
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// PathHops implements BusLayout.
+func (s SerpentineLayout) PathHops(a, b int) int {
+	d := s.tap(a) - s.tap(b)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// HTreeLayout is CryoBus's H-tree-shaped bus (§5.2.1): a 3-level
+// quadtree over the tile grid whose hubs sit at block centers. Leaf to
+// root is 6 hops (1+2+3), so the maximum leaf-to-leaf span is 12 hops —
+// 2.5× shorter than the serpentine — and every contiguous segment is
+// ≤6 mm (the Fig 10 validation length).
+type HTreeLayout struct {
+	NodesN int
+	Side   int
+}
+
+// NewHTree lays out n nodes (n must give a square grid).
+func NewHTree(n int) HTreeLayout {
+	return HTreeLayout{NodesN: n, Side: gridSide(n)}
+}
+
+// Name implements BusLayout.
+func (h HTreeLayout) Name() string { return "h-tree" }
+
+// levelHops are the per-level climb costs: leaf→L1 hub, L1→L2, L2→root.
+var levelHops = [3]int{1, 2, 3}
+
+// BroadcastHops implements BusLayout: up to the root and down — 12.
+func (h HTreeLayout) BroadcastHops() int {
+	total := 0
+	for _, v := range levelHops {
+		total += v
+	}
+	return 2 * total
+}
+
+// ReqHops implements BusLayout: every leaf is 6 hops from the central
+// arbiter at the root.
+func (h HTreeLayout) ReqHops(int) int {
+	total := 0
+	for _, v := range levelHops {
+		total += v
+	}
+	return total
+}
+
+// quad returns the node's block index at quadtree level l (0 = 2×2
+// blocks, 1 = 4×4 quadrants).
+func (h HTreeLayout) quad(node, l int) int {
+	x, y := node%h.Side, node/h.Side
+	shift := l + 1
+	return (y>>shift)*(h.Side>>shift) + (x >> shift)
+}
+
+// PathHops implements BusLayout: climb to the lowest common hub and
+// descend.
+func (h HTreeLayout) PathHops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if h.quad(a, 0) == h.quad(b, 0) {
+		return 2 * levelHops[0]
+	}
+	if h.quad(a, 1) == h.quad(b, 1) {
+		return 2 * (levelHops[0] + levelHops[1])
+	}
+	return h.BroadcastHops()
+}
+
+// BusConfig assembles a complete shared-bus design.
+type BusConfig struct {
+	Name   string
+	Nodes  int
+	Layout BusLayout
+	Timing Timing
+	// ControlCycles is the extra cycle CryoBus spends distributing
+	// cross-link switch settings with the grant (§5.2.2, ③).
+	ControlCycles int
+	// DynamicLinks enables point-to-point transfers over only the links
+	// on the source→destination path (data responses); without it every
+	// transfer drives the whole bus.
+	DynamicLinks bool
+	// QueueCap bounds each node's outstanding request queue.
+	QueueCap int
+}
+
+// Bus is a cycle-level snooping-bus simulator: requests travel on
+// dedicated request wires to the central matrix arbiter; the granted
+// node's transfer occupies the shared wires for its serialization time;
+// delivery completes when the broadcast (or dynamic-link transfer)
+// reaches the far end.
+type Bus struct {
+	cfg      BusConfig
+	arb      *MatrixArbiter
+	queues   [][]*Packet
+	now      int64
+	busFree  int64
+	inflight []busInflight
+	stats    Stats
+	reqs     []bool // scratch
+	energy   Energy
+	// OnDeliver, when set, receives delivered packets instead of the
+	// internal stats (used by composite networks such as the hybrid).
+	OnDeliver func(p *Packet, now int64)
+}
+
+type busInflight struct {
+	p         *Packet
+	deliverAt int64
+}
+
+// NewBus builds the bus.
+func NewBus(cfg BusConfig) *Bus {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	return &Bus{
+		cfg:    cfg,
+		arb:    NewMatrixArbiter(cfg.Nodes),
+		queues: make([][]*Packet, cfg.Nodes),
+		reqs:   make([]bool, cfg.Nodes),
+	}
+}
+
+// Name implements Network.
+func (b *Bus) Name() string { return b.cfg.Name }
+
+// Nodes implements Network.
+func (b *Bus) Nodes() int { return b.cfg.Nodes }
+
+// Cycle implements Network.
+func (b *Bus) Cycle() int64 { return b.now }
+
+// Stats implements Network.
+func (b *Bus) Stats() *Stats { return &b.stats }
+
+// Timing exposes the bus clocking.
+func (b *Bus) Timing() Timing { return b.cfg.Timing }
+
+// TryInject implements Network.
+func (b *Bus) TryInject(p *Packet) bool {
+	q := b.queues[p.Src]
+	if len(q) >= b.cfg.QueueCap {
+		return false
+	}
+	// InjectedAt is owned by the caller.
+	b.queues[p.Src] = append(q, p)
+	return true
+}
+
+// transferHops returns the wire span one transaction activates.
+func (b *Bus) transferHops(p *Packet) int {
+	hops := b.cfg.Layout.BroadcastHops()
+	if b.cfg.DynamicLinks && p.Dst != Broadcast {
+		hops = b.cfg.Layout.PathHops(p.Src, p.Dst)
+		if hops == 0 {
+			hops = 1
+		}
+	}
+	return hops
+}
+
+// transferCycles returns the bus occupancy of one transaction.
+func (b *Bus) transferCycles(p *Packet) int {
+	c := b.cfg.Timing.WireCycles(b.transferHops(p))
+	flits := p.Flits
+	if flits < 1 {
+		flits = 1
+	}
+	return c + flits - 1
+}
+
+// grantLatency returns request-wire + arbitration + grant-wire +
+// control cycles for a node.
+func (b *Bus) grantLatency(node int) int64 {
+	req := b.cfg.Timing.WireCycles(b.cfg.Layout.ReqHops(node))
+	return int64(req + 1 + req + b.cfg.ControlCycles)
+}
+
+// Step implements Network.
+func (b *Bus) Step() {
+	now := b.now
+	// Deliveries.
+	keep := b.inflight[:0]
+	for _, f := range b.inflight {
+		if f.deliverAt <= now {
+			if b.OnDeliver != nil {
+				b.OnDeliver(f.p, now)
+			} else {
+				b.stats.Record(f.p, now)
+			}
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	b.inflight = keep
+	// Arbitration: one new owner whenever the bus is free. A request is
+	// visible at the arbiter after its request-wire flight time.
+	if b.busFree <= now {
+		for i := range b.reqs {
+			b.reqs[i] = false
+			if len(b.queues[i]) > 0 {
+				head := b.queues[i][0]
+				reqWire := int64(b.cfg.Timing.WireCycles(b.cfg.Layout.ReqHops(i)))
+				if head.InjectedAt+reqWire <= now {
+					b.reqs[i] = true
+				}
+			}
+		}
+		g := b.arb.Grant(b.reqs)
+		if g >= 0 {
+			p := b.queues[g][0]
+			b.queues[g] = b.queues[g][1:]
+			tc := int64(b.transferCycles(p))
+			flits := p.Flits
+			if flits < 1 {
+				flits = 1
+			}
+			b.energy.Arbitrations++
+			b.energy.WireMMFlits += float64(b.transferHops(p)) * tileMM * float64(flits)
+			// Arbitration and grant/control distribution are pipelined
+			// with the previous transfer ("it does not worsen the
+			// contention", §5.2.3): the bus is occupied for the transfer
+			// time only, while each packet's latency still pays its own
+			// grant path.
+			grantLat := int64(1+b.cfg.ControlCycles) + int64(b.cfg.Timing.WireCycles(b.cfg.Layout.ReqHops(g)))
+			start := now + grantLat
+			b.busFree = now + tc
+			b.inflight = append(b.inflight, busInflight{p: p, deliverAt: start + tc})
+		}
+	}
+	b.now++
+}
+
+// ZeroLoadLatency implements Network: average over nodes of request +
+// arbitration + grant + control + broadcast.
+func (b *Bus) ZeroLoadLatency() float64 {
+	total := 0.0
+	for n := 0; n < b.cfg.Nodes; n++ {
+		p := &Packet{Src: n, Dst: Broadcast, Flits: 1}
+		total += float64(b.grantLatency(n)) + float64(b.transferCycles(p))
+	}
+	return total / float64(b.cfg.Nodes)
+}
+
+// Breakdown returns the zero-load latency components in cycles for a
+// representative (average-distance) node — the Fig 20 decomposition.
+func (b *Bus) Breakdown() (request, arbitration, grantAndControl, broadcast float64) {
+	var reqSum float64
+	for n := 0; n < b.cfg.Nodes; n++ {
+		reqSum += float64(b.cfg.Timing.WireCycles(b.cfg.Layout.ReqHops(n)))
+	}
+	request = reqSum / float64(b.cfg.Nodes)
+	arbitration = 1
+	grantAndControl = request + float64(b.cfg.ControlCycles)
+	broadcast = float64(b.cfg.Timing.WireCycles(b.cfg.Layout.BroadcastHops()))
+	return request, arbitration, grantAndControl, broadcast
+}
+
+// --- Standard bus designs -------------------------------------------------
+
+// NewSharedBus300 returns the conventional serpentine bus at 300 K.
+func NewSharedBus300(nodes int, t Timing) *Bus {
+	return NewBus(BusConfig{Name: "300K Shared bus", Nodes: nodes, Layout: NewSerpentine(nodes), Timing: t})
+}
+
+// NewSharedBus77 returns the serpentine bus with 77 K wires.
+func NewSharedBus77(nodes int, t Timing) *Bus {
+	return NewBus(BusConfig{Name: "77K Shared bus", Nodes: nodes, Layout: NewSerpentine(nodes), Timing: t})
+}
+
+// NewHTreeBus300 returns the H-tree topology at 300 K (topology-only
+// ablation of Fig 20).
+func NewHTreeBus300(nodes int, t Timing) *Bus {
+	return NewBus(BusConfig{Name: "300K H-tree bus", Nodes: nodes, Layout: NewHTree(nodes), Timing: t, ControlCycles: 1, DynamicLinks: true})
+}
+
+// NewCryoBus returns the full CryoBus: H-tree topology, dynamic link
+// connection (1 extra control cycle, point-to-point data transfers) on
+// 77 K wires.
+func NewCryoBus(nodes int, t Timing) *Bus {
+	return NewBus(BusConfig{Name: "CryoBus", Nodes: nodes, Layout: NewHTree(nodes), Timing: t, ControlCycles: 1, DynamicLinks: true})
+}
+
+// InterleavedBus is k address-interleaved buses (§7.1): transactions
+// are striped across buses by address, multiplying bandwidth while
+// keeping each bus's snooping protocol intact.
+type InterleavedBus struct {
+	name  string
+	buses []*Bus
+	stats Stats
+}
+
+// NewInterleavedBus stripes k copies of the given bus design.
+func NewInterleavedBus(k int, mk func() *Bus) *InterleavedBus {
+	ib := &InterleavedBus{}
+	for i := 0; i < k; i++ {
+		ib.buses = append(ib.buses, mk())
+	}
+	ib.name = fmt.Sprintf("%s (%d-way)", ib.buses[0].Name(), k)
+	return ib
+}
+
+// Name implements Network.
+func (ib *InterleavedBus) Name() string { return ib.name }
+
+// Nodes implements Network.
+func (ib *InterleavedBus) Nodes() int { return ib.buses[0].Nodes() }
+
+// Cycle implements Network.
+func (ib *InterleavedBus) Cycle() int64 { return ib.buses[0].Cycle() }
+
+// Stats implements Network: aggregated over the stripes.
+func (ib *InterleavedBus) Stats() *Stats {
+	agg := Stats{}
+	for _, b := range ib.buses {
+		s := b.Stats()
+		agg.Delivered += s.Delivered
+		agg.TotalLatency += s.TotalLatency
+		if s.MaxLatency > agg.MaxLatency {
+			agg.MaxLatency = s.MaxLatency
+		}
+	}
+	return &agg
+}
+
+// TryInject implements Network: the packet's address (ID at this
+// abstraction) picks the stripe.
+func (ib *InterleavedBus) TryInject(p *Packet) bool {
+	idx := int(p.ID) % len(ib.buses)
+	if idx < 0 {
+		idx = -idx
+	}
+	return ib.buses[idx].TryInject(p)
+}
+
+// Step implements Network.
+func (ib *InterleavedBus) Step() {
+	for _, b := range ib.buses {
+		b.Step()
+	}
+}
+
+// SetOnDeliver installs a delivery hook on every stripe.
+func (ib *InterleavedBus) SetOnDeliver(f func(p *Packet, now int64)) {
+	for _, b := range ib.buses {
+		b.OnDeliver = f
+	}
+}
+
+// ZeroLoadLatency implements Network (same as a single stripe).
+func (ib *InterleavedBus) ZeroLoadLatency() float64 {
+	return ib.buses[0].ZeroLoadLatency()
+}
+
+// saturated is the latency multiple of zero-load beyond which a sweep
+// declares the network saturated.
+const saturationFactor = 25.0
+
+// SaturationLatency returns the sweep cut-off for a network.
+func SaturationLatency(n Network) float64 {
+	z := n.ZeroLoadLatency()
+	if z < 1 {
+		z = 1
+	}
+	return math.Max(50, saturationFactor*z)
+}

@@ -1,0 +1,54 @@
+package noc
+
+// Energy accumulates switching-activity counters in physical units —
+// the Orion-2.0-style accounting behind the NoC power comparison
+// (Fig 22). Wire energy scales with driven millimetres × flits; router
+// energy with traversals and buffer writes; bus arbitration with grant
+// events. The power package converts these into watts via V²·E_unit.
+type Energy struct {
+	// WireMMFlits is the total wire length driven, in mm·flits.
+	WireMMFlits float64
+	// RouterTraversals counts crossbar passes.
+	RouterTraversals int64
+	// BufferWrites counts input-buffer enqueues.
+	BufferWrites int64
+	// Arbitrations counts bus grant events.
+	Arbitrations int64
+}
+
+// Add accumulates another counter set.
+func (e *Energy) Add(o Energy) {
+	e.WireMMFlits += o.WireMMFlits
+	e.RouterTraversals += o.RouterTraversals
+	e.BufferWrites += o.BufferWrites
+	e.Arbitrations += o.Arbitrations
+}
+
+// tileMM is the physical length of one tile hop.
+const tileMM = 2.0
+
+// EnergyMeter is implemented by networks that track activity.
+type EnergyMeter interface {
+	Energy() Energy
+}
+
+// Energy implements EnergyMeter for router networks.
+func (rn *RouterNet) Energy() Energy { return rn.energy }
+
+// Energy implements EnergyMeter for buses.
+func (b *Bus) Energy() Energy { return b.energy }
+
+// Energy implements EnergyMeter for interleaved buses.
+func (ib *InterleavedBus) Energy() Energy {
+	var e Energy
+	for _, b := range ib.buses {
+		e.Add(b.Energy())
+	}
+	return e
+}
+
+var (
+	_ EnergyMeter = (*RouterNet)(nil)
+	_ EnergyMeter = (*Bus)(nil)
+	_ EnergyMeter = (*InterleavedBus)(nil)
+)

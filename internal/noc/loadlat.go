@@ -1,0 +1,161 @@
+package noc
+
+import (
+	"math/rand"
+)
+
+// SweepPoint is one measurement of a load-latency curve.
+type SweepPoint struct {
+	InjectionRate float64 // packets per node per cycle
+	AvgLatency    float64 // cycles
+	Saturated     bool
+}
+
+// SweepConfig controls a load-latency sweep.
+type SweepConfig struct {
+	Pattern Pattern
+	Rates   []float64
+	// WarmupCycles and MeasureCycles default to 2000/8000.
+	WarmupCycles, MeasureCycles int
+	Seed                        int64
+	// DataFlits, when >1, marks a fraction of packets as multi-flit
+	// data transfers (0 keeps all packets single-flit control).
+	DataFlits    int
+	DataFraction float64
+}
+
+func (c *SweepConfig) defaults() {
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 2000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 8000
+	}
+	if c.Pattern == nil {
+		c.Pattern = Uniform{}
+	}
+}
+
+// sourceState is the open-loop per-node generator with a source queue:
+// generated packets wait here when the network exerts back-pressure, so
+// saturation shows up as unbounded latency rather than lost packets.
+type sourceState struct {
+	pending []*Packet
+	burstOn bool
+}
+
+// LoadLatency sweeps injection rates over fresh networks built by mk
+// and returns one point per rate. The sweep stops early once a rate
+// saturates (standard BookSim methodology: latency beyond a large
+// multiple of zero-load, or throughput collapse).
+func LoadLatency(mk func() Network, cfg SweepConfig) []SweepPoint {
+	cfg.defaults()
+	var out []SweepPoint
+	for _, rate := range cfg.Rates {
+		p := measureRate(mk(), rate, cfg)
+		out = append(out, p)
+		if p.Saturated {
+			break
+		}
+	}
+	return out
+}
+
+// measureRate runs one injection rate to steady state.
+func measureRate(n Network, rate float64, cfg SweepConfig) SweepPoint {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(rate*1e7)))
+	nodes := n.Nodes()
+	srcs := make([]sourceState, nodes)
+	burst, bursty := cfg.Pattern.(Burst)
+	var injectedMeasured, generated int64
+	satLat := SaturationLatency(n)
+
+	base := n.Stats().Delivered
+	baseLat := n.Stats().TotalLatency
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	var id int64
+	for cyc := 0; cyc < total; cyc++ {
+		if cyc == cfg.WarmupCycles {
+			base = n.Stats().Delivered
+			baseLat = n.Stats().TotalLatency
+		}
+		now := n.Cycle()
+		for s := 0; s < nodes; s++ {
+			st := &srcs[s]
+			// Generation: Bernoulli at the offered rate; bursty sources
+			// concentrate the same offered load into on-periods.
+			genRate := rate
+			if bursty {
+				p := burst.onProb()
+				// Two-state Markov chain with mean on-fraction p and
+				// geometric dwell times.
+				if st.burstOn {
+					if rng.Float64() < (1-p)/10 {
+						st.burstOn = false
+					}
+				} else if rng.Float64() < p/10 {
+					st.burstOn = true
+				}
+				if !st.burstOn {
+					genRate = 0
+				} else {
+					genRate = rate / p
+				}
+			}
+			if genRate > 0 && rng.Float64() < genRate {
+				pk := &Packet{ID: id, Src: s, Flits: 1, InjectedAt: now}
+				id++
+				pk.Dst = cfg.Pattern.Dest(s, nodes, rng)
+				if cfg.DataFlits > 1 && rng.Float64() < cfg.DataFraction {
+					pk.Flits = cfg.DataFlits
+				}
+				st.pending = append(st.pending, pk)
+				generated++
+			}
+			// Drain the source queue into the network.
+			for len(st.pending) > 0 && n.TryInject(st.pending[0]) {
+				if cyc >= cfg.WarmupCycles {
+					injectedMeasured++
+				}
+				st.pending = st.pending[1:]
+			}
+			// A source queue exploding past any reasonable bound is
+			// saturation; bail early to keep sweeps fast.
+			if len(st.pending) > 512 {
+				return SweepPoint{InjectionRate: rate, AvgLatency: satLat, Saturated: true}
+			}
+		}
+		n.Step()
+	}
+	st := n.Stats()
+	delivered := st.Delivered - base
+	if delivered == 0 {
+		return SweepPoint{InjectionRate: rate, AvgLatency: satLat, Saturated: true}
+	}
+	avg := float64(st.TotalLatency-baseLat) / float64(delivered)
+	sat := avg >= satLat
+	// Throughput collapse: deliveries far below the offered load.
+	offered := rate * float64(nodes) * float64(cfg.MeasureCycles)
+	if offered > 100 && float64(delivered) < 0.6*offered {
+		sat = true
+	}
+	return SweepPoint{InjectionRate: rate, AvgLatency: avg, Saturated: sat}
+}
+
+// SaturationRate estimates the injection rate at which the network
+// saturates by walking a geometric rate grid — the "bandwidth limit"
+// quoted for Figs 18/21/25/26.
+func SaturationRate(mk func() Network, cfg SweepConfig) float64 {
+	cfg.defaults()
+	rate := 0.0005
+	last := 0.0
+	for rate < 0.6 {
+		p := measureRate(mk(), rate, cfg)
+		if p.Saturated {
+			return rate
+		}
+		last = rate
+		rate *= 1.35
+	}
+	return last
+}

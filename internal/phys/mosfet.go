@@ -1,0 +1,176 @@
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Volts is an electric potential.
+type Volts float64
+
+// OperatingPoint is a (temperature, supply, threshold) triple at which a
+// transistor circuit runs. The paper's voltage-scaled designs (CHP-core,
+// CryoSP) pick aggressive operating points that are only feasible at
+// cryogenic temperatures because of the collapsed leakage.
+type OperatingPoint struct {
+	T   Kelvin
+	Vdd Volts
+	Vth Volts
+}
+
+// Nominal45 is the nominal FreePDK45-like operating point the paper's
+// 300 K baseline uses (Table 3: Vdd 1.25 V, Vth 0.47 V).
+var Nominal45 = OperatingPoint{T: T300, Vdd: 1.25, Vth: 0.47}
+
+// Valid reports whether the operating point is physically meaningful.
+func (op OperatingPoint) Valid() error {
+	switch {
+	case op.T <= 0:
+		return fmt.Errorf("phys: non-positive temperature %v", op.T)
+	case op.Vdd <= 0:
+		return fmt.Errorf("phys: non-positive Vdd %v", op.Vdd)
+	case op.Vth <= 0:
+		return fmt.Errorf("phys: non-positive Vth %v", op.Vth)
+	case op.Vth >= op.Vdd:
+		return fmt.Errorf("phys: Vth %v >= Vdd %v (no overdrive)", op.Vth, op.Vdd)
+	}
+	return nil
+}
+
+// MOSFET is an empirical cryogenic transistor model card in the spirit of
+// cryo-MOSFET from CC-Model: given an operating point it yields drive
+// strength, gate delay and leakage. It uses
+//
+//   - an alpha-power on-current law  Ion ∝ µ(T)·(Vdd−Vth)^Alpha,
+//   - a mobility factor µ(T) that improves modestly with cooling
+//     (phonon-scattering-limited, saturating at low T), and
+//   - the textbook subthreshold leakage model
+//     Ileak ∝ (T/300)²·exp(−Vth·q/(n·k·T)).
+//
+// Alpha and the 77 K mobility gain are calibrated to the paper's anchor
+// points: +8 % transistor speed at 77 K at nominal voltage, CryoSP at
+// 7.84 GHz with Vdd/Vth = 0.64/0.25 V and CHP-core near 6.1 GHz with
+// 0.75/0.25 V (DESIGN.md, "Key model anchors").
+type MOSFET struct {
+	// Alpha is the velocity-saturation exponent of the alpha-power law.
+	Alpha float64
+	// MobilityGain77 is µ(77K)/µ(300K).
+	MobilityGain77 float64
+	// SubthresholdN is the subthreshold ideality factor n.
+	SubthresholdN float64
+	// Ileak0 is the leakage prefactor (A per µm of gate width) at the
+	// nominal 300 K operating point; only ratios matter for the paper's
+	// analyses but an absolute scale keeps power numbers dimensionful.
+	Ileak0 float64
+}
+
+// DefaultMOSFET returns the calibrated 45 nm-class model card used by
+// every CryoWire experiment.
+func DefaultMOSFET() *MOSFET {
+	return &MOSFET{
+		Alpha:          0.545,
+		MobilityGain77: 1.08,
+		SubthresholdN:  1.5,
+		Ileak0:         100e-9,
+	}
+}
+
+// thermalVoltage returns kT/q in volts.
+func thermalVoltage(t Kelvin) float64 {
+	const kOverQ = 8.617333262e-5 // V/K
+	return kOverQ * float64(t)
+}
+
+// MobilityFactor returns µ(T)/µ(300K). Carrier mobility in silicon is
+// phonon-limited near room temperature (µ ∝ T^−γ) but saturates at low
+// temperature as impurity scattering takes over; the model interpolates
+// so that the 77 K value equals the calibrated MobilityGain77 and the
+// curve is monotone between 300 K and 77 K.
+func (m *MOSFET) MobilityFactor(t Kelvin) float64 {
+	if t >= T300 {
+		return 1
+	}
+	if t <= T77 {
+		return m.MobilityGain77
+	}
+	// Log-linear interpolation in temperature between the anchors.
+	frac := math.Log(float64(T300)/float64(t)) / math.Log(float64(T300)/float64(T77))
+	return 1 + (m.MobilityGain77-1)*frac
+}
+
+// OnCurrentFactor returns Ion(op)/Ion(Nominal45) — the relative drive
+// strength of the transistor at the given operating point.
+func (m *MOSFET) OnCurrentFactor(op OperatingPoint) float64 {
+	ref := Nominal45
+	num := m.MobilityFactor(op.T) * math.Pow(float64(op.Vdd-op.Vth), m.Alpha)
+	den := m.MobilityFactor(ref.T) * math.Pow(float64(ref.Vdd-ref.Vth), m.Alpha)
+	return num / den
+}
+
+// GateDelayFactor returns t_gate(op)/t_gate(Nominal45). Gate delay is
+// CV/I with the switched charge proportional to Vdd:
+//
+//	delay ∝ Vdd / Ion(T, Vdd, Vth)
+//
+// so lowering Vdd both reduces the charge and the drive; the net effect
+// depends on Alpha and the overdrive Vdd−Vth.
+func (m *MOSFET) GateDelayFactor(op OperatingPoint) float64 {
+	ref := Nominal45
+	return (float64(op.Vdd) / float64(ref.Vdd)) / m.OnCurrentFactor(op)
+}
+
+// TransistorSpeedup returns the transistor-only speedup at op relative
+// to the nominal 300 K point (the reciprocal of GateDelayFactor). At
+// (77 K, nominal voltage) this is the paper's "8 %" number.
+func (m *MOSFET) TransistorSpeedup(op OperatingPoint) float64 {
+	return 1 / m.GateDelayFactor(op)
+}
+
+// LeakageFactor returns Ileak(op)/Ileak(Nominal45). The exponential
+// sensitivity to Vth/T is what makes cryogenic Vth scaling free: at
+// 77 K even Vth = 0.25 V leaks orders of magnitude less than the 300 K
+// nominal device.
+func (m *MOSFET) LeakageFactor(op OperatingPoint) float64 {
+	ref := Nominal45
+	exp := func(o OperatingPoint) float64 {
+		return -float64(o.Vth) / (m.SubthresholdN * thermalVoltage(o.T))
+	}
+	tempScale := math.Pow(float64(op.T)/float64(ref.T), 2)
+	return tempScale * math.Exp(exp(op)-exp(ref))
+}
+
+// LeakageCurrent returns the absolute leakage current (A/µm) at op.
+func (m *MOSFET) LeakageCurrent(op OperatingPoint) float64 {
+	return m.Ileak0 * m.LeakageFactor(op)
+}
+
+// ErrInfeasible is returned when no voltage assignment satisfies the
+// leakage budget.
+var ErrInfeasible = errors.New("phys: no feasible Vth under leakage budget")
+
+// MinVth returns the smallest threshold voltage at temperature t whose
+// leakage does not exceed budgetFactor times the nominal 300 K leakage.
+// This is the knob that lets cryogenic designs trade the leakage slack
+// for speed (§4.5): MinVth(77K, 1.0) is far below the 300 K nominal
+// 0.47 V.
+func (m *MOSFET) MinVth(t Kelvin, budgetFactor float64) (Volts, error) {
+	if budgetFactor <= 0 {
+		return 0, fmt.Errorf("phys: non-positive leakage budget %v", budgetFactor)
+	}
+	// Solve LeakageFactor(t, vth) = budgetFactor for vth analytically:
+	// tempScale·exp(−vth/(n·kT/q) + vthRef/(n·kTref/q)) = budget.
+	ref := Nominal45
+	tempScale := math.Pow(float64(t)/float64(ref.T), 2)
+	refExp := float64(ref.Vth) / (m.SubthresholdN * thermalVoltage(ref.T))
+	rhs := math.Log(budgetFactor/tempScale) - refExp
+	vth := Volts(-rhs * m.SubthresholdN * thermalVoltage(t))
+	if vth <= 0 {
+		// Leakage budget is so loose that any positive Vth works.
+		return 0.01, nil
+	}
+	if vth >= ref.Vdd {
+		return 0, ErrInfeasible
+	}
+	return vth, nil
+}

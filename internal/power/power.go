@@ -1,0 +1,216 @@
+// Package power estimates device and total (cooling-inclusive) power
+// for cores and NoCs — the McPAT/Orion-2.0 substitute (§6.1.2). All
+// values are normalized: core power to the 300 K baseline core, NoC
+// power to the 300 K Mesh. Absolute watts are irrelevant to every
+// claim the paper makes; ratios with and without the 9.65× cooling
+// overhead are what Table 3, Fig 22 and Fig 27 report.
+package power
+
+import (
+	"cryowire/internal/phys"
+	"cryowire/internal/pipeline"
+)
+
+// Model bundles the device models used for power estimation.
+type Model struct {
+	MOSFET  *phys.MOSFET
+	Cooling phys.CoolingModel
+}
+
+// NewModel returns the default calibrated power model.
+func NewModel() *Model {
+	return &Model{MOSFET: phys.DefaultMOSFET(), Cooling: phys.DefaultCooling()}
+}
+
+// Core power decomposition at the 300 K baseline operating point:
+// dynamic switching dominates a busy high-Vth 45 nm core.
+const (
+	coreDynFraction    = 0.95
+	coreStaticFraction = 0.05
+)
+
+// coreCapacitance returns the effective switched capacitance of a core
+// relative to the 8-wide Skylake-sized baseline. Width sets the number
+// of active datapaths; the ROB stands in for the sizes of all the
+// scaled structures (they shrink together in the CryoCore recipe).
+func coreCapacitance(c pipeline.CoreSpec) float64 {
+	return (float64(c.Width) / 8.0) * (float64(c.ROB) / 224.0)
+}
+
+// CorePower returns the device power of a core relative to the 300 K
+// baseline core: C_eff·V²·f dynamic plus leakage static.
+func (m *Model) CorePower(c pipeline.CoreSpec) float64 {
+	ref := phys.Nominal45
+	vr := float64(c.Op.Vdd) / float64(ref.Vdd)
+	fr := c.FreqGHz / 4.0
+	dyn := coreDynFraction * coreCapacitance(c) * vr * vr * fr
+	stat := coreStaticFraction * coreCapacitance(c) * vr * m.MOSFET.LeakageFactor(c.Op)
+	return dyn + stat
+}
+
+// CoreTotalPower includes the cryocooler burden (Eq. 2) — the "Total
+// power" row of Table 3, normalized to the 300 K baseline total.
+func (m *Model) CoreTotalPower(c pipeline.CoreSpec) float64 {
+	ref := 1.0 * (1 + m.Cooling.Overhead(phys.T300)) // = 1
+	return m.CorePower(c) * (1 + m.Cooling.Overhead(c.Op.T)) / ref
+}
+
+// --- NoC power (Orion-lite) ------------------------------------------------
+
+// NoCKind identifies the Fig 22 designs.
+type NoCKind int
+
+// Fig 22 design list.
+const (
+	Mesh300 NoCKind = iota
+	Mesh77
+	SharedBus77
+	CryoBus77
+)
+
+// String implements fmt.Stringer.
+func (k NoCKind) String() string {
+	switch k {
+	case Mesh300:
+		return "300K Mesh"
+	case Mesh77:
+		return "77K Mesh"
+	case SharedBus77:
+		return "77K Shared bus"
+	case CryoBus77:
+		return "CryoBus"
+	default:
+		return "NoC(?)"
+	}
+}
+
+// NoC power decomposition at the 300 K mesh reference point: a
+// lightly-loaded router network is leakage-dominated ("the
+// 300K-dominant static power is almost eliminated at 77K", §5.2.3).
+const (
+	nocStaticFraction  = 0.84
+	nocDynamicFraction = 0.16
+)
+
+// nocVoltage returns each design's supply (Table 4).
+func nocVoltage(k NoCKind) phys.OperatingPoint {
+	switch k {
+	case Mesh300:
+		return phys.OperatingPoint{T: phys.T300, Vdd: 1.0, Vth: 0.468}
+	case Mesh77:
+		return phys.OperatingPoint{T: phys.T77, Vdd: 0.55, Vth: 0.225}
+	case SharedBus77, CryoBus77:
+		return phys.OperatingPoint{T: phys.T77, Vdd: 0.55, Vth: 0.225}
+	default:
+		panic("power: unknown NoC kind")
+	}
+}
+
+// nocFrequencyFactor is each design's clock relative to the 300 K mesh.
+func nocFrequencyFactor(k NoCKind) float64 {
+	switch k {
+	case Mesh77:
+		return 1.36 // 5.44 GHz (Table 4)
+	default:
+		return 1.0 // 4 GHz
+	}
+}
+
+// activityFactor captures how much wire length a transfer toggles,
+// relative to the 300 K mesh carrying the same traffic. Buses drive
+// long wires every transaction; CryoBus's dynamic link connection only
+// activates the source→destination path for directed transfers and
+// drops the router overhead entirely.
+func activityFactor(k NoCKind) float64 {
+	switch k {
+	case Mesh300, Mesh77:
+		return 1.0
+	case SharedBus77:
+		// Full 30-hop broadcast for every transfer, but no router
+		// crossbars/buffers to toggle.
+		return 0.95
+	case CryoBus77:
+		// 12-hop snoop broadcasts plus ~4-hop directed data transfers,
+		// no routers.
+		return 0.66
+	default:
+		return 1.0
+	}
+}
+
+// NoCPower returns the device power of a NoC design relative to the
+// 300 K mesh device power.
+func (m *Model) NoCPower(k NoCKind) float64 {
+	op := nocVoltage(k)
+	ref := nocVoltage(Mesh300)
+	vr := float64(op.Vdd) / float64(ref.Vdd)
+	dyn := nocDynamicFraction * activityFactor(k) * vr * vr * nocFrequencyFactor(k)
+	// Leakage relative to the 300 K mesh's leakage at its own point.
+	leakRel := m.MOSFET.LeakageFactor(op) / m.MOSFET.LeakageFactor(ref)
+	stat := nocStaticFraction * vr * leakRel
+	return dyn + stat
+}
+
+// NoCTotalPower includes cooling — the Fig 22 quantity, normalized to
+// the 300 K mesh total.
+func (m *Model) NoCTotalPower(k NoCKind) float64 {
+	return m.NoCPower(k) * (1 + m.Cooling.Overhead(nocVoltage(k).T))
+}
+
+// --- temperature sweep (Fig 27) --------------------------------------------
+
+// SweepPoint is one temperature of the Fig 27 study.
+type SweepPoint struct {
+	T Kelvin
+	// FreqGHz and Vdd follow the paper's linear interpolation between
+	// the 300 K baseline and the 77 K CryoSP endpoints.
+	FreqGHz float64
+	Vdd     phys.Volts
+	// CoolingOverhead is CO(T).
+	CoolingOverhead float64
+	// RelPerformance approximates performance by clock (the §7.4 sweep
+	// assumes frequency-proportional performance between endpoints;
+	// the full-system experiment refines this with simulation).
+	RelPerformance float64
+	// RelPower is total power (device + cooling) relative to 300 K.
+	RelPower float64
+	// PerfPerPower is the Fig 27(a) metric.
+	PerfPerPower float64
+}
+
+// Kelvin aliases phys.Kelvin for the exported sweep type.
+type Kelvin = phys.Kelvin
+
+// TemperatureSweep computes the Fig 27 curves between 300 K and 77 K.
+// Frequency, voltage and performance interpolate linearly with
+// temperature (the paper's §7.4 assumption); cooling overhead follows
+// the 30 %-of-Carnot model.
+func (m *Model) TemperatureSweep(temps []Kelvin) []SweepPoint {
+	const (
+		f300, f77 = 4.0, 7.84
+		v300, v77 = 1.25, 0.64
+	)
+	var out []SweepPoint
+	for _, t := range temps {
+		frac := float64(300-t) / float64(300-77)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		p := SweepPoint{
+			T:               t,
+			FreqGHz:         f300 + frac*(f77-f300),
+			Vdd:             phys.Volts(v300 + frac*(v77-v300)),
+			CoolingOverhead: m.Cooling.Overhead(t),
+		}
+		p.RelPerformance = p.FreqGHz / f300
+		vr := float64(p.Vdd) / v300
+		device := vr * vr * (p.FreqGHz / f300)
+		p.RelPower = device * (1 + p.CoolingOverhead)
+		p.PerfPerPower = p.RelPerformance / p.RelPower
+		out = append(out, p)
+	}
+	return out
+}

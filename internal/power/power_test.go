@@ -1,0 +1,149 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"cryowire/internal/phys"
+	"cryowire/internal/pipeline"
+)
+
+func models() (*Model, *pipeline.Model) {
+	return NewModel(), pipeline.NewModel(phys.DefaultMOSFET())
+}
+
+func TestTable3CorePowerColumn(t *testing.T) {
+	m, pm := models()
+	base := m.CorePower(pipeline.Baseline300(pm))
+	if math.Abs(base-1) > 0.01 {
+		t.Fatalf("baseline core power = %v, want 1 (normalization)", base)
+	}
+	// 77K Superpipeline: same machine at 1.6× clock ⇒ ≈1.61×
+	// (leakage vanishes at 77 K).
+	sp := m.CorePower(pipeline.Superpipeline77(pm))
+	if sp < 1.45 || sp > 1.75 {
+		t.Errorf("77K Superpipeline core power = %v, want ≈1.61 (Table 3)", sp)
+	}
+	// +CryoCore halves width and structures: ≈0.36.
+	cc := m.CorePower(pipeline.SuperpipelineCryoCore77(pm))
+	if cc < 0.28 || cc > 0.44 {
+		t.Errorf("+CryoCore core power = %v, want ≈0.3575 (Table 3)", cc)
+	}
+	// CryoSP after Vdd/Vth scaling: ≈0.09–0.12 — and its cooled total
+	// lands near the 300 K baseline's total (the paper's iso-power
+	// design point).
+	sp2 := m.CorePower(pipeline.CryoSP(pm))
+	if sp2 < 0.07 || sp2 > 0.13 {
+		t.Errorf("CryoSP core power = %v, want ≈0.093 (Table 3)", sp2)
+	}
+	total := m.CoreTotalPower(pipeline.CryoSP(pm))
+	if total < 0.75 || total > 1.35 {
+		t.Errorf("CryoSP total power = %v, want ≈1.0 (iso-power vs 300K baseline)", total)
+	}
+}
+
+func TestTable3TotalPowerRatios(t *testing.T) {
+	m, pm := models()
+	// Total power = (1+CO)·device at 77 K: the Superpipeline column's
+	// huge 17× total is the whole motivation for the CryoCore sizing +
+	// voltage scaling steps.
+	sp := m.CoreTotalPower(pipeline.Superpipeline77(pm))
+	if sp < 14 || sp > 20 {
+		t.Errorf("77K Superpipeline total power = %v, want ≈17.15 (Table 3)", sp)
+	}
+	cc := m.CoreTotalPower(pipeline.SuperpipelineCryoCore77(pm))
+	if cc < 3.0 || cc > 4.7 {
+		t.Errorf("+CryoCore total power = %v, want ≈3.73 (Table 3)", cc)
+	}
+	chp := m.CoreTotalPower(pipeline.CHPCore(pm))
+	if chp < 0.8 || chp > 1.8 {
+		t.Errorf("CHP-core total power = %v, want ≈1.0 (Table 3)", chp)
+	}
+}
+
+func TestFig22NoCPower(t *testing.T) {
+	m := NewModel()
+	ref := m.NoCTotalPower(Mesh300)
+	if math.Abs(ref-1) > 0.01 {
+		t.Fatalf("300K mesh total = %v, want 1 (normalization)", ref)
+	}
+	mesh77 := m.NoCTotalPower(Mesh77)
+	sbus := m.NoCTotalPower(SharedBus77)
+	cryo := m.NoCTotalPower(CryoBus77)
+	// Fig 22 anchors: CryoBus 57.2% below 300K Mesh, 40.5% below 77K
+	// Mesh, 30.7% below 77K Shared bus.
+	if cryo > 0.55 || cryo < 0.30 {
+		t.Errorf("CryoBus total power = %v, want ≈0.43 of 300K Mesh", cryo)
+	}
+	if !(cryo < sbus && sbus < mesh77 && mesh77 < 1) {
+		t.Errorf("power ordering wrong: CryoBus %v < SharedBus %v < 77K Mesh %v < 1 expected", cryo, sbus, mesh77)
+	}
+	// 77K Mesh ≈ 0.72 of 300K Mesh.
+	if mesh77 < 0.55 || mesh77 > 0.9 {
+		t.Errorf("77K Mesh total power = %v, want ≈0.72", mesh77)
+	}
+}
+
+func TestNoCStaticEliminatedAt77K(t *testing.T) {
+	// §5.2.3: the 300K-dominant static power is almost eliminated at
+	// 77 K — the device-power split must reflect it.
+	m := NewModel()
+	dev300 := m.NoCPower(Mesh300)
+	dev77 := m.NoCPower(Mesh77)
+	if dev77 > dev300*0.25 {
+		t.Errorf("77K mesh device power = %v of 300K — static should have collapsed", dev77/dev300)
+	}
+}
+
+func TestFig27SweetSpot(t *testing.T) {
+	m := NewModel()
+	temps := []Kelvin{300, 250, 200, 150, 125, 100, 90, 77}
+	pts := m.TemperatureSweep(temps)
+	if len(pts) != len(temps) {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	// Performance rises monotonically with cooling.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RelPerformance < pts[i-1].RelPerformance {
+			t.Errorf("performance fell while cooling to %vK", pts[i].T)
+		}
+	}
+	// §7.4: 100 K beats 77 K on perf/power (cooling overhead explodes
+	// faster than performance grows).
+	var p77, p100 float64
+	for _, p := range pts {
+		if p.T == 77 {
+			p77 = p.PerfPerPower
+		}
+		if p.T == 100 {
+			p100 = p.PerfPerPower
+		}
+	}
+	if p100 <= p77 {
+		t.Errorf("perf/power at 100K (%v) should beat 77K (%v) — the Fig 27 sweet spot", p100, p77)
+	}
+	// Cooling overhead at 77 K matches the Stinger data (9.65).
+	last := pts[len(pts)-1]
+	if math.Abs(last.CoolingOverhead-9.65) > 0.1 {
+		t.Errorf("CO(77K) = %v, want 9.65", last.CoolingOverhead)
+	}
+}
+
+func TestSweepClampsOutsideRange(t *testing.T) {
+	m := NewModel()
+	pts := m.TemperatureSweep([]Kelvin{350, 60})
+	if pts[0].FreqGHz != 4.0 {
+		t.Errorf("above 300K frequency should clamp to 4.0, got %v", pts[0].FreqGHz)
+	}
+	if pts[1].FreqGHz != 7.84 {
+		t.Errorf("below 77K frequency should clamp to 7.84, got %v", pts[1].FreqGHz)
+	}
+}
+
+func TestNoCKindString(t *testing.T) {
+	for k, want := range map[NoCKind]string{Mesh300: "300K Mesh", Mesh77: "77K Mesh", SharedBus77: "77K Shared bus", CryoBus77: "CryoBus"} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"cryowire/internal/mem"
+	"cryowire/internal/noc"
+	"cryowire/internal/phys"
+	"cryowire/internal/pipeline"
+)
+
+// Factory builds the evaluation designs of Table 4 from the device
+// models.
+type Factory struct {
+	MOSFET *phys.MOSFET
+	Model  *pipeline.Model
+	Cores  int
+}
+
+// NewFactory wires the default models for the 64-core target.
+func NewFactory() *Factory {
+	m := phys.DefaultMOSFET()
+	return &Factory{MOSFET: m, Model: pipeline.NewModel(m), Cores: 64}
+}
+
+// Baseline300 is "Baseline (300K, Mesh)".
+func (f *Factory) Baseline300() Design {
+	return Design{
+		Name:   "Baseline (300K, Mesh)",
+		Core:   pipeline.Baseline300(f.Model),
+		Net:    Mesh,
+		NoC:    noc.MeshTiming(phys.Nominal45, f.MOSFET, 1),
+		Memory: mem.Mem300(),
+		Cores:  f.Cores,
+	}
+}
+
+// CHPMesh is "CHP-core (77K, Mesh)" — the state-of-the-art cryogenic
+// baseline.
+func (f *Factory) CHPMesh() Design {
+	return Design{
+		Name:   "CHP-core (77K, Mesh)",
+		Core:   pipeline.CHPCore(f.Model),
+		Net:    Mesh,
+		NoC:    noc.MeshTiming(noc.Op77(), f.MOSFET, 1),
+		Memory: mem.Mem77(),
+		Cores:  f.Cores,
+	}
+}
+
+// CryoSPMesh is "CryoSP (77K, Mesh)".
+func (f *Factory) CryoSPMesh() Design {
+	return Design{
+		Name:   "CryoSP (77K, Mesh)",
+		Core:   pipeline.CryoSP(f.Model),
+		Net:    Mesh,
+		NoC:    noc.MeshTiming(noc.Op77(), f.MOSFET, 1),
+		Memory: mem.Mem77(),
+		Cores:  f.Cores,
+	}
+}
+
+// CHPCryoBus is "CHP-core (77K, CryoBus)".
+func (f *Factory) CHPCryoBus() Design {
+	return Design{
+		Name:   "CHP-core (77K, CryoBus)",
+		Core:   pipeline.CHPCore(f.Model),
+		Net:    CryoBus,
+		NoC:    noc.BusTiming(noc.Op77(), f.MOSFET),
+		Memory: mem.Mem77(),
+		Cores:  f.Cores,
+	}
+}
+
+// CryoSPCryoBus is the paper's proposal: "CryoSP (77K, CryoBus)".
+func (f *Factory) CryoSPCryoBus() Design {
+	return Design{
+		Name:   "CryoSP (77K, CryoBus)",
+		Core:   pipeline.CryoSP(f.Model),
+		Net:    CryoBus,
+		NoC:    noc.BusTiming(noc.Op77(), f.MOSFET),
+		Memory: mem.Mem77(),
+		Cores:  f.Cores,
+	}
+}
+
+// Evaluation returns the five designs of Table 4 in paper order.
+func (f *Factory) Evaluation() []Design {
+	return []Design{
+		f.Baseline300(),
+		f.CHPMesh(),
+		f.CryoSPMesh(),
+		f.CHPCryoBus(),
+		f.CryoSPCryoBus(),
+	}
+}
+
+// SharedBus77 is the "77K Shared bus" system of Fig 17 (CHP-core with
+// the scaled conventional bus).
+func (f *Factory) SharedBus77() Design {
+	return Design{
+		Name:   "CHP-core (77K, Shared bus)",
+		Core:   pipeline.CHPCore(f.Model),
+		Net:    SharedBus,
+		NoC:    noc.BusTiming(noc.Op77(), f.MOSFET),
+		Memory: mem.Mem77(),
+		Cores:  f.Cores,
+	}
+}
+
+// IdealNoC77 is the zero-latency reference system of Fig 17.
+func (f *Factory) IdealNoC77() Design {
+	return Design{
+		Name:   "CHP-core (77K, Ideal NoC)",
+		Core:   pipeline.CHPCore(f.Model),
+		Net:    Ideal,
+		NoC:    noc.BusTiming(noc.Op77(), f.MOSFET),
+		Memory: mem.Mem77(),
+		Cores:  f.Cores,
+	}
+}
+
+// WithPrefetcher returns a copy of d running the aggressive stride
+// prefetcher of §7.1.
+func WithPrefetcher(d Design) Design {
+	d.Name += " +prefetch"
+	d.Prefetch = PrefetchConfig{Enabled: true, Degree: 1, Coverage: 0.25}
+	return d
+}
+
+// With2WayInterleaving returns a copy of a CryoBus design using 2-way
+// address interleaving (§7.1).
+func With2WayInterleaving(d Design) Design {
+	d.Name += " (2-way)"
+	d.Net = CryoBus2Way
+	return d
+}

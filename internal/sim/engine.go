@@ -1,0 +1,589 @@
+package sim
+
+import (
+	"math"
+
+	"cryowire/internal/coherence"
+	"cryowire/internal/noc"
+)
+
+// dataFlitsMesh is the serialization length of a cache-line transfer on
+// the flit-sliced mesh; control messages are single-flit. Snooping
+// designs carry data on the wide split-transaction data bus, one slot
+// per line.
+const dataFlitsMesh = 5
+
+// barrierAddr is the shared lock line all barrier traffic contends on.
+const barrierAddr uint64 = 0xBA77_1E40
+
+// lockLineCount hot lock lines carry all contended critical sections.
+const lockLineCount = 4
+
+// spinFanout is how many spinning waiters re-fetch the barrier line
+// per arrival (staggered polling keeps it below the full waiter count).
+const spinFanout = 6
+
+// serialLine serializes transactions that fight over one cache line.
+type serialLine struct {
+	busy  bool
+	queue []*txn
+}
+
+// barrierLine is the serial-line index of the barrier lock line.
+const barrierLine = lockLineCount
+
+// lockHandoffPhases is how many chained coherence transfers one lock
+// hand-off costs (acquire RFO + release-visibility transfer).
+const lockHandoffPhases = 2
+
+// lockAddr returns the address of hot lock line i.
+func lockAddr(i int) uint64 { return 0x10CC_0000 + uint64(i)*64 }
+
+// sharedLines/privateLines size the synthetic address pools.
+const (
+	sharedLines  = 2048
+	privateLines = 4096
+)
+
+// Main-memory organization: 8 channels × 8 banks, as a 64-core server
+// would provision.
+const (
+	dramChannels = 8
+	dramBanks    = 8
+)
+
+// l3Cycles returns the L3 array service time in NoC cycles.
+func (s *System) l3Cycles() int64 {
+	c := int64(math.Round(s.design.Memory.L3.LatencyNS() * s.design.NoC.FreqGHz))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// dramCycles returns the DRAM service time in NoC cycles for the given
+// address, issued now: the banked DRAM model resolves row-buffer state
+// and per-bank queueing.
+func (s *System) dramCycles(addr uint64, now int64) int64 {
+	nowNS := float64(now) / s.design.NoC.FreqGHz
+	doneNS := s.dram.Access(addr, nowNS)
+	c := int64(math.Round((doneNS - nowNS) * s.design.NoC.FreqGHz))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// genAddr draws the address of a demand miss and whether it writes.
+// Shared lines ping-pong between producers and consumers, so they see a
+// much higher write fraction than private data — this is what keeps
+// them Modified-owned and makes every access a costly 3-hop transfer on
+// the directory mesh.
+func (s *System) genAddr(core int) (addr uint64, write bool) {
+	if s.rng.Float64() < s.prof.SharedFraction {
+		return 0x5000_0000 + uint64(s.rng.Intn(sharedLines))*64, s.rng.Float64() < 0.45
+	}
+	return (uint64(core+1) << 32) + uint64(s.rng.Intn(privateLines))*64, s.rng.Float64() < 0.25
+}
+
+// home maps an address to its L3 home slice.
+func (s *System) home(addr uint64) int {
+	return int((addr / 64) % uint64(s.design.Cores))
+}
+
+// startTxn launches one coherence transaction for core. Barrier
+// transactions use the shared lock line; prefetches are reads that
+// do not hold commit tokens.
+func (s *System) startTxn(core int, barrier, write, prefetch bool) *txn {
+	addr, wr := s.genAddr(core)
+	if !barrier {
+		write = wr
+	}
+	l3Hit := s.rng.Float64() >= s.prof.L3MissRatio
+	if barrier {
+		addr = barrierAddr
+		l3Hit = true
+	}
+	if prefetch {
+		// Streams ahead of the demand stream: next-line addresses,
+		// usually L3 hits.
+		l3Hit = s.rng.Float64() >= s.prof.L3MissRatio*0.5
+	}
+	ctx := s.proto.Access(addr, core, s.home(addr), write, l3Hit)
+	t := &txn{
+		core:     core,
+		addr:     addr,
+		legs:     ctx.Legs,
+		l3Access: ctx.L3Access,
+		dram:     ctx.DRAM,
+		started:  s.now,
+		barrier:  barrier,
+		prefetch: prefetch,
+		lockLine: -1,
+		invLegs:  ctx.Invalidations,
+		phase:    BucketNoC,
+	}
+	c := &s.cores[core]
+	if !prefetch {
+		c.outstanding++
+		c.txns = append(c.txns, t)
+		if !barrier && s.rng.Float64() < s.blockProb() {
+			t.blocking = true
+			c.blockedOn = t
+		}
+	}
+	if barrier {
+		// Lock-line ping-pong: arrivals (and release re-reads) serialize
+		// on the barrier line.
+		t.lockLine = barrierLine
+		sl := &s.locks[barrierLine]
+		if sl.busy {
+			sl.queue = append(sl.queue, t)
+			return t
+		}
+		sl.busy = true
+	}
+	s.injectLeg(t)
+	return t
+}
+
+// startLockTxn launches a contended lock hand-off on a hot line. The
+// acquiring core cannot run ahead of its critical section, so the
+// transaction always blocks commit; hand-offs on the same line
+// serialize, which is where slow NoCs destroy lock throughput.
+func (s *System) startLockTxn(core int) {
+	line := s.rng.Intn(lockLineCount)
+	ctx := s.proto.Access(lockAddr(line), core, s.home(lockAddr(line)), true, true)
+	t := &txn{
+		core:     core,
+		legs:     ctx.Legs,
+		l3Access: ctx.L3Access,
+		started:  s.now,
+		blocking: true,
+		lockLine: line,
+		chain:    lockHandoffPhases - 1,
+		invLegs:  ctx.Invalidations,
+		phase:    BucketNoC,
+	}
+	c := &s.cores[core]
+	c.outstanding++
+	c.txns = append(c.txns, t)
+	c.blockedOn = t
+	sl := &s.locks[line]
+	if sl.busy {
+		sl.queue = append(sl.queue, t)
+		return
+	}
+	sl.busy = true
+	s.injectLeg(t)
+}
+
+// legNetwork picks the network a leg travels on.
+func (s *System) legNetwork(kind coherence.LegKind) noc.Network {
+	if s.dataNet != nil && kind == coherence.Data {
+		return s.dataNet
+	}
+	return s.net
+}
+
+// injectLeg offers the transaction's current leg to the network,
+// retrying next cycle under back-pressure.
+func (s *System) injectLeg(t *txn) {
+	leg := t.legs[t.leg]
+	flits := 1
+	if leg.Kind == coherence.Data && s.dataNet == nil && !s.ideal {
+		flits = dataFlitsMesh
+	}
+	dst := leg.To
+	if dst == -1 {
+		dst = noc.Broadcast
+	}
+	p := &noc.Packet{
+		ID:         s.nextPkt,
+		Src:        leg.From,
+		Dst:        dst,
+		Flits:      flits,
+		InjectedAt: s.now,
+	}
+	s.nextPkt++
+	t.phase = BucketNoC
+	if !s.legNetwork(leg.Kind).TryInject(p) {
+		s.schedule(s.now+1, &injEvent{pkt: p, t: t})
+		return
+	}
+	s.inflight[p] = inflightRef{t: t}
+}
+
+// injectInvalidations launches the parallel fan-out stage: one message
+// per sharer, all racing through the network; the last ack releases the
+// data leg.
+func (s *System) injectInvalidations(t *txn) {
+	t.invRemaining = len(t.invLegs)
+	for _, leg := range t.invLegs {
+		p := &noc.Packet{
+			ID:         s.nextPkt,
+			Src:        leg.From,
+			Dst:        leg.To,
+			Flits:      1,
+			InjectedAt: s.now,
+		}
+		s.nextPkt++
+		if !s.net.TryInject(p) {
+			s.schedule(s.now+1, &injEvent{pkt: p, t: t, inv: true})
+			continue
+		}
+		s.inflight[p] = inflightRef{t: t, inv: true}
+	}
+	t.invLegs = nil
+}
+
+// schedule queues a future injection retry or service completion.
+func (s *System) schedule(at int64, ev *injEvent) {
+	s.pendInj[at] = append(s.pendInj[at], ev)
+}
+
+// onDeliver advances a transaction when one of its packets lands.
+func (s *System) onDeliver(p *noc.Packet, now int64) {
+	ref, ok := s.inflight[p]
+	if !ok {
+		return
+	}
+	t := ref.t
+	delete(s.inflight, p)
+	if s.measuring {
+		s.latSum += now - p.InjectedAt
+		s.msgCount++
+	}
+	if ref.inv {
+		t.invRemaining--
+		if t.invRemaining == 0 {
+			s.advanceLeg(t)
+		}
+		return
+	}
+	t.leg++
+	if t.leg >= len(t.legs) {
+		s.completeTxn(t)
+		return
+	}
+	// A directory write to a shared line must collect every
+	// invalidation ack before the data leg proceeds.
+	if len(t.invLegs) > 0 {
+		s.injectInvalidations(t)
+		return
+	}
+	s.advanceLeg(t)
+}
+
+// advanceLeg injects the current leg after any home-side service time.
+func (s *System) advanceLeg(t *txn) {
+	next := t.legs[t.leg]
+	delay := int64(0)
+	if next.Kind == coherence.Data && t.l3Access {
+		delay += s.l3Cycles()
+		t.phase = BucketL3
+		if t.dram {
+			delay += s.dramCycles(t.addr, s.now)
+			t.phase = BucketDRAM
+		}
+	}
+	if delay == 0 {
+		s.injectLeg(t)
+		return
+	}
+	s.schedule(s.now+delay, &injEvent{t: t})
+}
+
+// completeTxn retires a transaction.
+func (s *System) completeTxn(t *txn) {
+	s.completed++
+	c := &s.cores[t.core]
+	if !t.prefetch {
+		c.outstanding--
+		for i, o := range c.txns {
+			if o == t {
+				c.txns = append(c.txns[:i], c.txns[i+1:]...)
+				break
+			}
+		}
+		if c.blockedOn == t {
+			c.blockedOn = nil
+		}
+	}
+	if t.lockLine >= 0 {
+		if t.chain > 0 {
+			// Chain the next hand-off phase (release-visibility transfer)
+			// while still holding the line.
+			ctx := s.proto.Access(lockAddr(t.lockLine%lockLineCount), t.core,
+				s.home(lockAddr(t.lockLine%lockLineCount)), true, true)
+			nt := &txn{
+				core: t.core, legs: ctx.Legs, l3Access: ctx.L3Access,
+				started: s.now, blocking: t.blocking, lockLine: t.lockLine,
+				chain: t.chain - 1, barrier: t.barrier, invLegs: ctx.Invalidations,
+				phase: BucketNoC,
+			}
+			if !t.prefetch {
+				c.outstanding++
+				c.txns = append(c.txns, nt)
+				if t.blocking {
+					c.blockedOn = nt
+				}
+			}
+			s.injectLeg(nt)
+			return
+		}
+		sl := &s.locks[t.lockLine]
+		sl.busy = false
+		if len(sl.queue) > 0 {
+			nxt := sl.queue[0]
+			sl.queue = sl.queue[1:]
+			sl.busy = true
+			s.injectLeg(nxt)
+		}
+	}
+	if !t.barrier {
+		return
+	}
+	// Barrier bookkeeping.
+	if !c.released {
+		// Arrival completed.
+		s.barrierArrived++
+		// Spinning waiters poll the arrival counter. On the snooping
+		// bus the spinners snarf the value straight off the arrival
+		// broadcast (read snarfing) — no extra traffic. On the
+		// directory mesh every arrival invalidates their copies and a
+		// handful re-fetch, so a barrier costs O(cores) extra hotspot
+		// transactions on top of the serialized arrival chain — the
+		// classic directory-barrier storm.
+		waiting := s.barrierArrived - 1
+		if s.design.Net.Snooping() {
+			waiting = 0
+		}
+		if waiting > spinFanout {
+			waiting = spinFanout
+		}
+		for k := 0; k < waiting; k++ {
+			spinner := s.rng.Intn(s.design.Cores)
+			sp := &txn{
+				core:    spinner,
+				started: s.now,
+				phase:   BucketNoC,
+				legs: s.proto.Access(barrierAddr, spinner, s.home(barrierAddr),
+					false, true).Legs,
+				lockLine: -1,
+				prefetch: true, // pure traffic: holds no commit tokens
+			}
+			s.injectLeg(sp)
+		}
+		if s.barrierArrived == s.design.Cores {
+			s.barrierArrived = 0
+			if s.design.Net.Snooping() {
+				// The final arrival broadcast carries the release: every
+				// snooping waiter snarfs it and resumes immediately.
+				for i := range s.cores {
+					c := &s.cores[i]
+					c.inBarrier = false
+					c.nextBarrierAt = c.committed + s.barrierInterval()*(0.75+0.5*s.rng.Float64())
+				}
+				return
+			}
+			// Directory release storm: each waiter re-reads the flag
+			// line concurrently; contention plays out on the NoC.
+			for i := range s.cores {
+				s.cores[i].released = true
+				s.startTxn(i, true, false, false)
+			}
+		}
+		return
+	}
+	// Release read completed: resume.
+	c.released = false
+	c.inBarrier = false
+	c.nextBarrierAt = c.committed + s.barrierInterval()*(0.75+0.5*s.rng.Float64())
+}
+
+// Step advances the system one NoC cycle.
+func (s *System) Step() {
+	// Pending retries / service completions.
+	if evs, ok := s.pendInj[s.now]; ok {
+		delete(s.pendInj, s.now)
+		for _, ev := range evs {
+			if ev.pkt != nil {
+				// Injection retry (invalidations always ride the main
+				// request network).
+				net := s.net
+				if !ev.inv {
+					net = s.legNetwork(ev.t.legs[ev.t.leg].Kind)
+				}
+				if !net.TryInject(ev.pkt) {
+					s.schedule(s.now+1, ev)
+					continue
+				}
+				s.inflight[ev.pkt] = inflightRef{t: ev.t, inv: ev.inv}
+				continue
+			}
+			s.injectLeg(ev.t)
+		}
+	}
+	// Cores.
+	for i := range s.cores {
+		c := &s.cores[i]
+		if c.inBarrier {
+			if s.measuring {
+				s.stackCycl[BucketSync]++
+			}
+			continue
+		}
+		rate := c.instrPerCycle
+		allowed := rate
+		if c.blockedOn != nil || c.outstanding >= c.mlpCap {
+			allowed = 0
+		}
+		c.committed += allowed
+		if s.measuring {
+			frac := allowed / rate
+			s.stackCycl[BucketBase] += frac
+			if frac < 1 {
+				bucket := BucketNoC
+				if c.blockedOn != nil {
+					bucket = c.blockedOn.phase
+				} else if len(c.txns) > 0 {
+					bucket = c.txns[0].phase
+				}
+				s.stackCycl[bucket] += 1 - frac
+			}
+		}
+		// Demand misses (plus the prefetch stream).
+		for c.committed >= c.nextMissAt && c.outstanding < c.mlpCap {
+			s.startTxn(i, false, s.rng.Float64() < 0.3, false)
+			c.nextMissAt += c.instrPerMiss * s.expRand()
+			if pf := s.design.Prefetch; pf.Enabled {
+				for d := 0; d < pf.Degree; d++ {
+					s.startTxn(i, false, false, true)
+				}
+			}
+		}
+		// Contended lock hand-offs.
+		for c.committed >= c.nextLockAt {
+			s.startLockTxn(i)
+			c.nextLockAt += s.lockInterval() * (0.5 + s.rng.Float64())
+		}
+		// Barrier entry.
+		if c.committed >= c.nextBarrierAt && !c.inBarrier {
+			c.inBarrier = true
+			s.startTxn(i, true, true, false)
+		}
+	}
+	// Networks.
+	s.net.Step()
+	if s.dataNet != nil {
+		s.dataNet.Step()
+	}
+	s.now++
+}
+
+// totalCommitted sums committed instructions over all cores.
+func (s *System) totalCommitted() float64 {
+	t := 0.0
+	for i := range s.cores {
+		t += s.cores[i].committed
+	}
+	return t
+}
+
+// Run executes warmup + measurement and returns the result.
+func (s *System) Run() Result {
+	for i := 0; i < s.cfg.WarmupCycles; i++ {
+		s.Step()
+	}
+	s.measuring = true
+	s.instrBase = s.totalCommitted()
+	completedBase := s.completed
+	for i := 0; i < s.cfg.MeasureCycles; i++ {
+		s.Step()
+	}
+	instr := s.totalCommitted() - s.instrBase
+	ns := float64(s.cfg.MeasureCycles) / s.design.NoC.FreqGHz
+	res := Result{
+		Design:       s.design.Name,
+		Workload:     s.prof.Name,
+		Instructions: instr,
+		NS:           ns,
+		Performance:  instr / ns,
+		Transactions: s.completed - completedBase,
+	}
+	coreCyc := ns * s.design.Core.FreqGHz * float64(s.design.Cores)
+	res.IPC = instr / coreCyc
+	totalStack := 0.0
+	for _, v := range s.stackCycl {
+		totalStack += v
+	}
+	if totalStack > 0 {
+		for b := range res.Stack {
+			res.Stack[b] = s.stackCycl[b] / totalStack
+		}
+	}
+	if n := res.Transactions; n > 0 {
+		// latSum counts per-leg latencies; average per message.
+		res.AvgNoCLatency = float64(s.latSum) / float64(s.latMsgs())
+	}
+	return res
+}
+
+// latMsgs estimates the number of measured messages (legs ≈ 2.2 per
+// transaction on average); tracked exactly via a counter.
+func (s *System) latMsgs() int64 {
+	if s.msgCount == 0 {
+		return 1
+	}
+	return s.msgCount
+}
+
+// idealNet is the zero-latency contention-free reference NoC of
+// Fig 17 ("ideal NoC which has zero latency without contention and
+// runs with snooping protocol").
+type idealNet struct {
+	nodes     int
+	now       int64
+	stats     noc.Stats
+	queue     []*noc.Packet
+	OnDeliver func(p *noc.Packet, now int64)
+}
+
+func newIdealNet(nodes int) *idealNet { return &idealNet{nodes: nodes} }
+
+// Name implements noc.Network.
+func (n *idealNet) Name() string { return "Ideal" }
+
+// Nodes implements noc.Network.
+func (n *idealNet) Nodes() int { return n.nodes }
+
+// Cycle implements noc.Network.
+func (n *idealNet) Cycle() int64 { return n.now }
+
+// Stats implements noc.Network.
+func (n *idealNet) Stats() *noc.Stats { return &n.stats }
+
+// ZeroLoadLatency implements noc.Network.
+func (n *idealNet) ZeroLoadLatency() float64 { return 1 }
+
+// TryInject implements noc.Network.
+func (n *idealNet) TryInject(p *noc.Packet) bool {
+	n.queue = append(n.queue, p)
+	return true
+}
+
+// Step implements noc.Network: everything injected delivers after one
+// cycle.
+func (n *idealNet) Step() {
+	q := n.queue
+	n.queue = nil
+	n.now++
+	for _, p := range q {
+		if n.OnDeliver != nil {
+			n.OnDeliver(p, n.now)
+		} else {
+			n.stats.Record(p, n.now)
+		}
+	}
+}

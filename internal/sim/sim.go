@@ -1,0 +1,452 @@
+// Package sim is the full-system timing simulator — the repository's
+// Gem5 substitute (DESIGN.md, substitution #4). It steps a 64-core
+// system at NoC-cycle granularity: statistical cores commit
+// instructions and emit L2-miss transactions; a real MESI protocol
+// (directory or snooping, package coherence) expands each miss into
+// messages; the messages travel as real packets on the cycle-level NoC
+// (package noc); L3 slices and DRAM add service time; barriers
+// serialize on a contended lock line exactly the way barrier spinning
+// does on real machines. IPC, CPI stacks (Fig 3) and system-level
+// performance (Figs 17/23/24) all emerge from the simulation.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cryowire/internal/coherence"
+	"cryowire/internal/dram"
+	"cryowire/internal/mem"
+	"cryowire/internal/noc"
+	"cryowire/internal/phys"
+	"cryowire/internal/pipeline"
+	"cryowire/internal/workload"
+)
+
+// NetKind selects the interconnect of a system design.
+type NetKind int
+
+// Interconnect kinds of Table 4 plus the ideal reference of Fig 17.
+const (
+	Mesh NetKind = iota
+	SharedBus
+	CryoBus
+	CryoBus2Way
+	Ideal
+)
+
+// String implements fmt.Stringer.
+func (k NetKind) String() string {
+	switch k {
+	case Mesh:
+		return "Mesh"
+	case SharedBus:
+		return "Shared bus"
+	case CryoBus:
+		return "CryoBus"
+	case CryoBus2Way:
+		return "CryoBus 2-way"
+	case Ideal:
+		return "Ideal NoC"
+	default:
+		return fmt.Sprintf("NetKind(%d)", int(k))
+	}
+}
+
+// Snooping reports whether the interconnect runs the snoop protocol
+// (every bus does; the mesh designs are directory-based, Table 4).
+func (k NetKind) Snooping() bool {
+	switch k {
+	case SharedBus, CryoBus, CryoBus2Way, Ideal:
+		return true
+	default:
+		return false
+	}
+}
+
+// PrefetchConfig models the aggressive stride prefetcher of Fig 24.
+type PrefetchConfig struct {
+	// Enabled turns the prefetcher on.
+	Enabled bool
+	// Degree is the number of prefetch transactions issued per demand
+	// miss (the paper's inefficient prefetcher fires even on hits, so
+	// the traffic multiplier is large).
+	Degree int
+	// Coverage is the fraction of demand misses the prefetcher converts
+	// into hits.
+	Coverage float64
+}
+
+// Design is a complete system configuration (a Table 4 row).
+type Design struct {
+	Name     string
+	Core     pipeline.CoreSpec
+	Net      NetKind
+	NoC      noc.Timing
+	Memory   mem.Hierarchy
+	Cores    int
+	Prefetch PrefetchConfig
+}
+
+// Validate checks the design.
+func (d Design) Validate() error {
+	if d.Cores < 2 {
+		return fmt.Errorf("sim: design %s needs ≥2 cores", d.Name)
+	}
+	if d.NoC.FreqGHz <= 0 || d.NoC.HopsPerCycle < 1 {
+		return fmt.Errorf("sim: design %s has invalid NoC timing %+v", d.Name, d.NoC)
+	}
+	return d.Core.Validate()
+}
+
+// StallBucket labels where a cycle went (the Fig 3 CPI-stack buckets).
+type StallBucket int
+
+// CPI-stack buckets.
+const (
+	BucketBase StallBucket = iota // issue-limited + branch + L2-hit time
+	BucketNoC                     // waiting on coherence messages in flight
+	BucketL3                      // waiting on L3 array service
+	BucketDRAM                    // waiting on DRAM
+	BucketSync                    // barrier arrival/release
+	bucketCount
+)
+
+// String implements fmt.Stringer.
+func (b StallBucket) String() string {
+	switch b {
+	case BucketBase:
+		return "base"
+	case BucketNoC:
+		return "noc"
+	case BucketL3:
+		return "l3"
+	case BucketDRAM:
+		return "dram"
+	case BucketSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Design   string
+	Workload string
+	// Instructions committed across all cores during measurement.
+	Instructions float64
+	// NS is the measured wall-clock in nanoseconds.
+	NS float64
+	// IPC is per-core instructions per core cycle.
+	IPC float64
+	// Performance is committed instructions per nanosecond (the
+	// "inverse of execution time" metric of §6.2).
+	Performance float64
+	// Stack is the per-bucket share of core cycles (sums to ~1).
+	Stack [bucketCount]float64
+	// AvgNoCLatency is the mean coherence-message latency in NoC cycles.
+	AvgNoCLatency float64
+	// Transactions counts completed coherence transactions.
+	Transactions int64
+}
+
+// NoCShare returns the network-bound fraction of the CPI stack — the
+// Fig 3 metric. Barrier (sync) time is network time: every cycle of it
+// is spent waiting on coherence messages crossing the NoC.
+func (r Result) NoCShare() float64 { return r.Stack[BucketNoC] + r.Stack[BucketSync] }
+
+// Config holds run-length and seed knobs.
+type Config struct {
+	WarmupCycles  int
+	MeasureCycles int
+	Seed          int64
+}
+
+// DefaultConfig returns run lengths that trade a little noise for
+// single-machine speed.
+func DefaultConfig() Config {
+	return Config{WarmupCycles: 6000, MeasureCycles: 24000, Seed: 1}
+}
+
+// protocol abstracts the two coherence engines.
+type protocol interface {
+	Access(addr uint64, core, home int, write, l3Hit bool) coherence.Transaction
+}
+
+// txn is one in-flight coherence transaction.
+type txn struct {
+	core     int
+	addr     uint64
+	legs     []coherence.Leg
+	leg      int
+	l3Access bool
+	dram     bool
+	started  int64
+	// barrier transactions serialize on the lock line and are charged
+	// to the sync bucket.
+	barrier bool
+	// prefetches do not hold commit tokens.
+	prefetch bool
+	// blocking marks a dependent miss: instructions after it need its
+	// value, so commit halts until it completes. Misses block with
+	// probability 1/MLP — the interval-analysis formulation of
+	// memory-level parallelism.
+	blocking bool
+	// lockLine ≥ 0 marks a contended lock hand-off serialized on that
+	// hot line.
+	lockLine int
+	// chain counts follow-up hand-off phases still to run on the line.
+	chain int
+	// invLegs is the pending parallel invalidation fan-out; invRemaining
+	// acks must arrive before the data leg proceeds.
+	invLegs      []coherence.Leg
+	invRemaining int
+	// phase is where the transaction currently waits.
+	phase StallBucket
+}
+
+// System is a constructed simulation ready to run.
+type System struct {
+	design Design
+	prof   workload.Profile
+	cfg    Config
+
+	net noc.Network
+	// dataNet is the separate data bus of snooping designs (the address
+	// bus carries snoops, a wide data path carries lines — classic
+	// split-transaction bus organization). Nil for mesh/ideal designs.
+	dataNet   noc.Network
+	ideal     bool
+	proto     protocol
+	dram      *dram.Memory
+	rng       *rand.Rand
+	cores     []coreState
+	pendInj   map[int64][]*injEvent
+	inflight  map[*noc.Packet]inflightRef
+	now       int64
+	nextPkt   int64
+	completed int64
+	latSum    int64
+	msgCount  int64
+
+	// barrier bookkeeping
+	barrierArrived int
+
+	// hot contended lines: lock hand-offs and the barrier line, each
+	// serializing its transactions (index lockLineCount is the barrier
+	// line).
+	locks [lockLineCount + 1]serialLine
+
+	// measurement
+	measuring bool
+	instrBase float64
+	stackCycl [bucketCount]float64
+}
+
+type injEvent struct {
+	pkt *noc.Packet
+	t   *txn
+	inv bool
+}
+
+// inflightRef ties a packet to its transaction; inv marks an
+// invalidation fan-out message rather than the main leg chain.
+type inflightRef struct {
+	t   *txn
+	inv bool
+}
+
+// coreState is one statistical core.
+type coreState struct {
+	committed   float64
+	nextMissAt  float64
+	outstanding int
+	txns        []*txn
+	// blockedOn is the dependent miss currently stalling commit.
+	blockedOn *txn
+
+	nextBarrierAt float64
+	nextLockAt    float64
+	inBarrier     bool
+	released      bool
+
+	// derived per-core rates
+	instrPerCycle float64 // unstalled commit rate in instructions/NoC cycle
+	instrPerMiss  float64
+	mlpCap        int // hard MSHR/load-queue window
+}
+
+// New builds a system for the design × workload pair.
+func New(d Design, p workload.Profile, cfg Config) (*System, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		design:   d,
+		prof:     p,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pendInj:  make(map[int64][]*injEvent),
+		inflight: make(map[*noc.Packet]inflightRef),
+	}
+	s.buildNetwork()
+	if d.Memory.Temp < phys.T300 {
+		s.dram = dram.NewMemory(dram.CLLDRAM(), dramChannels, dramBanks)
+	} else {
+		s.dram = dram.NewMemory(dram.DDR4(), dramChannels, dramBanks)
+	}
+	if d.Net.Snooping() {
+		s.proto = coherence.NewSnoop(1 << 15)
+	} else {
+		s.proto = coherence.NewDirectory(1 << 15)
+	}
+	s.cores = make([]coreState, d.Cores)
+	for i := range s.cores {
+		c := &s.cores[i]
+		c.instrPerCycle = s.unstalledRate()
+		c.instrPerMiss = s.instrPerMiss()
+		c.mlpCap = s.mlpCap()
+		c.nextMissAt = c.instrPerMiss * s.expRand()
+		c.nextBarrierAt = s.barrierInterval() * (0.5 + s.rng.Float64())
+		c.nextLockAt = s.lockInterval() * (0.5 + s.rng.Float64())
+	}
+	return s, nil
+}
+
+// lockInterval is committed instructions between contended lock ops.
+func (s *System) lockInterval() float64 {
+	if s.prof.LockMPKI <= 0 {
+		return math.Inf(1)
+	}
+	return 1000 / s.prof.LockMPKI
+}
+
+// buildNetwork instantiates the interconnect.
+func (s *System) buildNetwork() {
+	d := s.design
+	mkShared := func() *noc.Bus {
+		return noc.NewBus(noc.BusConfig{
+			Name: "shared-bus", Nodes: d.Cores,
+			Layout: noc.NewSerpentine(d.Cores), Timing: d.NoC,
+		})
+	}
+	switch d.Net {
+	case Mesh:
+		s.net = noc.NewMesh(d.Cores, d.NoC)
+	case SharedBus:
+		s.net = mkShared()
+		s.dataNet = mkShared()
+	case CryoBus:
+		s.net = noc.NewCryoBus(d.Cores, d.NoC)
+		s.dataNet = noc.NewCryoBus(d.Cores, d.NoC)
+	case CryoBus2Way:
+		s.net = noc.NewInterleavedBus(2, func() *noc.Bus { return noc.NewCryoBus(d.Cores, d.NoC) })
+		s.dataNet = noc.NewInterleavedBus(2, func() *noc.Bus { return noc.NewCryoBus(d.Cores, d.NoC) })
+	case Ideal:
+		s.net = newIdealNet(d.Cores)
+		s.ideal = true
+	default:
+		panic(fmt.Sprintf("sim: unknown net kind %v", d.Net))
+	}
+	hook := func(n noc.Network) {
+		switch v := n.(type) {
+		case *noc.RouterNet:
+			v.OnDeliver = s.onDeliver
+		case *noc.Bus:
+			v.OnDeliver = s.onDeliver
+		case *idealNet:
+			v.OnDeliver = s.onDeliver
+		case *noc.InterleavedBus:
+			v.SetOnDeliver(s.onDeliver)
+		}
+	}
+	hook(s.net)
+	if s.dataNet != nil {
+		hook(s.dataNet)
+	}
+}
+
+// --- per-core rate derivations -------------------------------------------
+
+// freqRatio is core cycles per NoC cycle.
+func (s *System) freqRatio() float64 {
+	return s.design.Core.FreqGHz / s.design.NoC.FreqGHz
+}
+
+// unstalledRate returns instructions per NoC cycle with a perfect
+// L2-miss-free memory system: issue-width/ILP limit, branch cost at the
+// design's pipeline depth, and the (mostly overlapped) L1-miss/L2-hit
+// component.
+func (s *System) unstalledRate() float64 {
+	p := s.prof
+	c := s.design.Core
+	effILP := p.ILP * structureFactor(c.ROB)
+	ilpLimit := math.Min(effILP, float64(c.Width)*0.85)
+	l2HitCore := s.design.Memory.L2.LatencyNS() * c.FreqGHz
+	cpi := 1/ilpLimit +
+		p.BranchMPKI/1000*float64(c.MispredictPenalty) +
+		p.L1MPKI/1000*l2HitCore/l1OverlapMLP
+	return (1 / cpi) * s.freqRatio()
+}
+
+// l1OverlapMLP is how many L1-miss/L2-hit accesses overlap.
+const l1OverlapMLP = 4.0
+
+// structureFactor de-rates exploitable ILP for smaller backends
+// (CryoCore halves the ROB and queues, Table 3).
+func structureFactor(rob int) float64 {
+	const refROB = 224.0
+	return math.Pow(float64(rob)/refROB, 0.10)
+}
+
+// instrPerMiss is the mean committed-instruction gap between L2 misses,
+// after prefetch coverage.
+func (s *System) instrPerMiss() float64 {
+	mpki := s.prof.L2MPKI
+	if s.design.Prefetch.Enabled {
+		mpki *= 1 - s.design.Prefetch.Coverage
+	}
+	if mpki <= 0 {
+		return math.Inf(1)
+	}
+	return 1000 / mpki
+}
+
+// mlpCap is the hard in-flight miss window set by the load queue; the
+// softer dependence-driven limit comes from blocking misses (1/MLP).
+func (s *System) mlpCap() int {
+	cap := s.design.Core.LoadQ / 4
+	if cap < 2 {
+		cap = 2
+	}
+	return cap
+}
+
+// blockProb is the probability a miss is a dependent (blocking) one.
+func (s *System) blockProb() float64 {
+	mlp := s.prof.MLP
+	// Smaller backends extract less MLP (CryoCore halves the LQ/ROB).
+	mlp *= math.Pow(float64(s.design.Core.LoadQ)/72.0, 0.15)
+	if mlp < 1 {
+		mlp = 1
+	}
+	return 1 / mlp
+}
+
+// barrierInterval is committed instructions between barriers.
+func (s *System) barrierInterval() float64 {
+	if s.prof.BarriersPerMI <= 0 {
+		return math.Inf(1)
+	}
+	return 1e6 / s.prof.BarriersPerMI
+}
+
+// expRand draws a unit-mean exponential jitter.
+func (s *System) expRand() float64 {
+	return s.rng.ExpFloat64()
+}
