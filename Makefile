@@ -1,0 +1,30 @@
+# Tier-1 verification lives behind `make check`: vet, a full build, and
+# the test suite under the race detector (the cycle-level simulator and
+# the experiment runners are the concurrency-sensitive parts).
+#
+#   make test    - quick gate: build + tests (the ROADMAP tier-1 command)
+#   make check   - full gate: vet + build + race-enabled tests (~3 min)
+#   make bench   - one benchmark per reproduced table/figure
+
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

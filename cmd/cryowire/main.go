@@ -35,18 +35,39 @@ func main() {
 	}
 	arg := flag.Arg(0)
 	switch arg {
+	case "list", "all":
+		// "all fig5" would silently ignore fig5 (or worse, run it
+		// twice) — reject the combination outright.
+		if flag.NArg() > 1 {
+			fmt.Fprintf(os.Stderr, "cryowire: %q cannot be combined with other experiment IDs (got %v)\n",
+				arg, flag.Args()[1:])
+			usage()
+			os.Exit(2)
+		}
+	}
+	switch arg {
 	case "list":
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
 		return
 	case "all":
+		// Keep going past failures: one broken experiment should not
+		// hide the results of the other thirty. Failures are collected
+		// and summarized, and the exit code is non-zero only at the end.
+		var failed []string
 		for _, id := range experiments.IDs() {
 			if err := runOne(id, opt); err != nil {
 				fmt.Fprintf(os.Stderr, "cryowire: %v\n", err)
-				os.Exit(1)
+				failed = append(failed, id)
 			}
 		}
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "cryowire: %d of %d experiments failed: %v\n",
+				len(failed), len(experiments.IDs()), failed)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cryowire: all %d experiments completed\n", len(experiments.IDs()))
 		return
 	default:
 		for _, id := range flag.Args() {
@@ -75,6 +96,10 @@ func runOne(id string, opt experiments.Options) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cryowire [-quick] [-json] <experiment>...
        cryowire list | all
+
+"list" and "all" stand alone and cannot be combined with experiment
+IDs. "all" runs every experiment, keeps going past failures, and exits
+non-zero only after printing a failure summary.
 
 Experiments reproduce the CryoWire paper's tables and figures; see
 DESIGN.md for the experiment index and EXPERIMENTS.md for results.

@@ -24,6 +24,7 @@ import (
 
 	"cryowire/internal/core"
 	"cryowire/internal/experiments"
+	"cryowire/internal/fault"
 	"cryowire/internal/noc"
 	"cryowire/internal/phys"
 	"cryowire/internal/power"
@@ -79,6 +80,15 @@ type (
 	SimResult = sim.Result
 	// Workload is a statistical workload profile.
 	Workload = workload.Profile
+	// FaultConfig declares a deterministic fault-injection scenario;
+	// set SimConfig.Fault to run a design degraded.
+	FaultConfig = fault.Config
+	// SimWatchdog configures the deadlock/livelock detector guarding
+	// every simulation run.
+	SimWatchdog = sim.Watchdog
+	// StallError is the watchdog's cycle-stamped diagnosis of a hung
+	// simulation, returned by Simulate instead of spinning forever.
+	StallError = sim.StallError
 )
 
 // EvaluationDesigns returns the paper's five systems.
@@ -91,13 +101,20 @@ func WorkloadByName(name string) (Workload, error) { return workload.ByName(name
 func ParsecWorkloads() []Workload { return workload.Parsec() }
 
 // Simulate runs one design × workload pair on the full-system
-// simulator.
-func Simulate(d Design, w Workload, cfg SimConfig) (SimResult, error) {
+// simulator. Invalid designs and hung simulations come back as errors
+// (the latter as a *StallError); any residual internal panic is
+// recovered into an error — this boundary never panics.
+func Simulate(d Design, w Workload, cfg SimConfig) (res SimResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cryowire: simulation panicked: %v", r)
+		}
+	}()
 	s, err := sim.New(d, w, cfg)
 	if err != nil {
 		return SimResult{}, err
 	}
-	return s.Run(), nil
+	return s.Run()
 }
 
 // --- wire-study API (the Fig 5 workflow) ------------------------------------
@@ -191,8 +208,9 @@ func NoCLoadLatency(design, pattern string, tempK float64, rates []float64) ([]L
 type TempSweepPoint = power.SweepPoint
 
 // TemperatureSweep computes frequency, power (with cooling) and
-// performance-per-watt across operating temperatures.
-func TemperatureSweep(tempsK []float64) []TempSweepPoint {
+// performance-per-watt across operating temperatures. Unphysical
+// (non-positive or NaN) temperatures are rejected with an error.
+func TemperatureSweep(tempsK []float64) ([]TempSweepPoint, error) {
 	temps := make([]power.Kelvin, len(tempsK))
 	for i, t := range tempsK {
 		temps[i] = power.Kelvin(t)

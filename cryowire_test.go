@@ -1,6 +1,8 @@
 package cryowire
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 )
@@ -109,11 +111,124 @@ func TestFacadeNoCLoadLatency(t *testing.T) {
 }
 
 func TestFacadeTemperatureSweep(t *testing.T) {
-	pts := TemperatureSweep([]float64{300, 100, 77})
+	pts, err := TemperatureSweep([]float64{300, 100, 77})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 3 {
 		t.Fatalf("sweep returned %d points", len(pts))
 	}
 	if pts[1].PerfPerPower <= pts[2].PerfPerPower {
 		t.Error("100K should beat 77K on perf/power (Fig 27)")
+	}
+}
+
+// TestPublicAPINeverPanics is the fuzz-style table test of the panic-free
+// boundary: every invalid input a caller can hand the exported API must
+// come back as an error, never a panic.
+func TestPublicAPINeverPanics(t *testing.T) {
+	mustNotPanic := func(t *testing.T, name string, f func() error) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s panicked: %v", name, r)
+			}
+		}()
+		if err := f(); err == nil {
+			t.Errorf("%s accepted invalid input", name)
+		}
+	}
+	badTemps := [][]float64{{0}, {-5}, {300, -1, 77}, {math.NaN()}}
+	for _, temps := range badTemps {
+		temps := temps
+		mustNotPanic(t, fmt.Sprintf("TemperatureSweep(%v)", temps), func() error {
+			_, err := TemperatureSweep(temps)
+			return err
+		})
+	}
+	for _, tc := range []struct{ class string; temp float64 }{
+		{"local", 0}, {"local", -273}, {"global", math.NaN()}, {"warp-drive", 77},
+	} {
+		tc := tc
+		mustNotPanic(t, fmt.Sprintf("WireSpeedupAt(%q,%v)", tc.class, tc.temp), func() error {
+			_, err := WireSpeedupAt(tc.class, 1, tc.temp, false)
+			return err
+		})
+	}
+	for _, tc := range []struct{ design, pattern string; temp float64 }{
+		{"hypercube", "uniform", 77}, {"mesh", "fractal", 77}, {"mesh", "uniform", -4},
+	} {
+		tc := tc
+		mustNotPanic(t, fmt.Sprintf("NoCLoadLatency(%q,%q,%v)", tc.design, tc.pattern, tc.temp), func() error {
+			_, err := NoCLoadLatency(tc.design, tc.pattern, tc.temp, []float64{0.001})
+			return err
+		})
+	}
+	// Simulate over invalid designs: bad node counts, bad net kinds,
+	// bad fault configs.
+	w, err := WorkloadByName("vips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimConfig{WarmupCycles: 200, MeasureCycles: 500, Seed: 1}
+	mesh60 := EvaluationDesigns()[1]
+	mesh60.Cores = 60
+	badNet := EvaluationDesigns()[1]
+	badNet.Net = 99
+	oneCore := EvaluationDesigns()[0]
+	oneCore.Cores = 1
+	for _, tc := range []struct {
+		name string
+		d    Design
+	}{
+		{"non-square mesh", mesh60}, {"unknown net kind", badNet}, {"single core", oneCore},
+	} {
+		tc := tc
+		mustNotPanic(t, "Simulate/"+tc.name, func() error {
+			_, err := Simulate(tc.d, w, cfg)
+			return err
+		})
+	}
+	badFault := cfg
+	badFault.Fault = &FaultConfig{LinkFailureRate: 2}
+	mustNotPanic(t, "Simulate/invalid fault config", func() error {
+		_, err := Simulate(EvaluationDesigns()[1], w, badFault)
+		return err
+	})
+	mustNotPanic(t, "RunExperiment/unknown id", func() error {
+		_, err := RunExperiment("not-a-figure", QuickOptions())
+		return err
+	})
+	mustNotPanic(t, "WorkloadByName/unknown", func() error {
+		_, err := WorkloadByName("quake3")
+		return err
+	})
+}
+
+// TestFaultedSimulateDegrades exercises the public fault-injection
+// path: a 10% link-failure CryoBus design completes with degraded
+// results rather than hanging or panicking.
+func TestFaultedSimulateDegrades(t *testing.T) {
+	w, err := WorkloadByName("vips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cryoSP := EvaluationDesigns()[4]
+	cfg := SimConfig{WarmupCycles: 800, MeasureCycles: 3000, Seed: 1}
+	healthy, err := Simulate(cryoSP, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fault = &FaultConfig{Seed: 7, LinkFailureRate: 0.10}
+	degraded, err := Simulate(cryoSP, w, cfg)
+	if err != nil {
+		t.Fatalf("faulted simulation failed instead of degrading: %v", err)
+	}
+	if degraded.Performance <= 0 {
+		t.Fatal("faulted simulation made no progress")
+	}
+	if degraded.DegradedBroadcastCycles <= healthy.DegradedBroadcastCycles {
+		t.Errorf("broadcast %v cycles not degraded beyond healthy %v",
+			degraded.DegradedBroadcastCycles, healthy.DegradedBroadcastCycles)
 	}
 }

@@ -1,0 +1,56 @@
+// Faultsweep demonstrates the fault-injection subsystem: the CryoSP +
+// CryoBus design is simulated healthy and then with rising H-tree
+// segment failure rates. Dead segments detour over neighboring tile
+// wires, so the broadcast degrades from 1 cycle to a multi-cycle span
+// instead of hanging — the graceful-degradation contract.
+//
+//	go run ./examples/faultsweep
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cryowire"
+)
+
+func main() {
+	w, err := cryowire.WorkloadByName("ferret")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsweep:", err)
+		os.Exit(1)
+	}
+	cryoSP := cryowire.EvaluationDesigns()[4] // CryoSP (77K, CryoBus)
+	base := cryowire.SimConfig{WarmupCycles: 2000, MeasureCycles: 8000, Seed: 1}
+
+	fmt.Println("CryoSP (77K, CryoBus) under H-tree segment failures")
+	fmt.Printf("%-10s %-8s %-10s %-14s %-12s %-12s\n",
+		"fail rate", "IPC", "rel. IPC", "broadcast cyc", "noc latency", "retransmits")
+	var healthy float64
+	for _, rate := range []float64{0, 0.02, 0.05, 0.10, 0.20} {
+		cfg := base
+		if rate > 0 {
+			cfg.Fault = &cryowire.FaultConfig{
+				Seed:               8,
+				LinkFailureRate:    rate,
+				FlitCorruptionRate: rate / 2,
+			}
+		}
+		res, err := cryowire.Simulate(cryoSP, w, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultsweep:", err)
+			os.Exit(1)
+		}
+		if rate == 0 {
+			healthy = res.IPC
+		}
+		fmt.Printf("%-10s %-8.3f %-10.3f %-14.1f %-12.2f %-12d\n",
+			fmt.Sprintf("%.0f%%", rate*100), res.IPC, res.IPC/healthy,
+			res.DegradedBroadcastCycles, res.AvgNoCLatency, res.Retransmits)
+	}
+	fmt.Println()
+	fmt.Println("Rate 0 runs with no injector and reproduces the healthy numbers")
+	fmt.Println("bit-for-bit. Under faults the bus NACKs corrupted flits and")
+	fmt.Println("retransmits with bounded exponential backoff; dead H-tree")
+	fmt.Println("segments re-route over 2h+2-hop tile-wire detours.")
+}

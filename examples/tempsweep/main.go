@@ -7,13 +7,18 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"cryowire"
 )
 
 func main() {
 	temps := []float64{300, 250, 200, 150, 125, 110, 100, 90, 77}
-	pts := cryowire.TemperatureSweep(temps)
+	pts, err := cryowire.TemperatureSweep(temps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tempsweep:", err)
+		os.Exit(1)
+	}
 
 	fmt.Println("Operating-temperature sweep (Fig 27 workflow)")
 	fmt.Printf("%-8s %-10s %-8s %-8s %-10s %-10s %-12s\n",

@@ -127,7 +127,11 @@ func (c *CryoWire) Evaluate(designs []sim.Design, profiles []workload.Profile, r
 			if err != nil {
 				return Evaluation{}, err
 			}
-			row[di] = s.Run().Performance
+			res, err := s.Run()
+			if err != nil {
+				return Evaluation{}, err
+			}
+			row[di] = res.Performance
 		}
 		ev.Perf = append(ev.Perf, row)
 	}

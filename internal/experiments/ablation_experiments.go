@@ -154,7 +154,11 @@ func AblSnoopBenefit(opt Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			perf[i] = s.Run().Performance
+			res, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			perf[i] = res.Performance
 		}
 		r.AddRow(wl.Name, f1(perf[0]), f1(perf[1]), f2(perf[1]/perf[0]))
 	}

@@ -107,12 +107,18 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
-func Run(id string, opt Options) (*Report, error) {
+// Run executes one experiment by ID. Any residual internal panic is
+// recovered into an error so the public API never crashes the caller.
+func Run(id string, opt Options) (rep *Report, err error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep, err = nil, fmt.Errorf("experiments: %s panicked: %v", id, rec)
+		}
+	}()
 	return r(opt)
 }
 

@@ -59,7 +59,10 @@ func Fig3(opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := s.Run()
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
 		share := res.NoCShare()
 		sum += share
 		if share > max {
@@ -93,7 +96,11 @@ func Fig17(opt Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			perf[i] = s.Run().Performance
+			res, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			perf[i] = res.Performance
 		}
 		mesh := perf[1] / perf[0]
 		bus := perf[2] / perf[0]
@@ -216,7 +223,11 @@ func Fig27(Options) (*Report, error) {
 		Notes:  []string{"paper: 100K beats 77K on perf/power — cooling overhead grows faster than performance"},
 	}
 	m := power.NewModel()
-	for _, p := range m.TemperatureSweep([]power.Kelvin{300, 250, 200, 150, 125, 100, 90, 77}) {
+	pts, err := m.TemperatureSweep([]power.Kelvin{300, 250, 200, 150, 125, 100, 90, 77})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
 		r.AddRow(f1(float64(p.T)), f2(p.FreqGHz), f2(float64(p.Vdd)), f2(p.CoolingOverhead),
 			f2(p.RelPerformance), f2(p.RelPower), f3(p.PerfPerPower))
 	}
@@ -305,7 +316,11 @@ func table3IPC(cores []pipeline.CoreSpec, opt Options) ([]float64, error) {
 			if err != nil {
 				return nil, err
 			}
-			sum += s.Run().IPC
+			res, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			sum += res.IPC
 		}
 		out[ci] = sum / float64(len(profiles))
 	}

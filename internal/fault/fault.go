@@ -1,0 +1,218 @@
+// Package fault provides deterministic fault injection for the
+// CryoWire simulation stack. A seeded Injector decides, reproducibly,
+// which interconnect segments are dead, which transfers arrive
+// corrupted (forcing a NACK and a bounded exponential-backoff
+// retransmit), which arbitration cycles lose their grant pulse, and
+// which L3/DRAM accesses respond slowly — the reliability scenarios
+// cryo-CMOS platform work (Tang et al.; Conway Lamb et al.) says a
+// cold design must be validated against.
+//
+// Every decision is a pure hash of (seed, domain, key): the injector
+// draws nothing from any shared random stream, so attaching an
+// all-zero-rate injector to a simulation leaves its results bit-for-bit
+// identical to an uninjected run, and two runs with the same seed see
+// exactly the same fault pattern regardless of call order.
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config declares one fault scenario. The zero value is a healthy
+// system: every rate is a probability in [0, 1] and defaults to 0.
+type Config struct {
+	// Seed selects the (deterministic) fault pattern.
+	Seed int64
+	// LinkFailureRate is the probability that each physical bus
+	// segment / router link is permanently dead for the whole run.
+	LinkFailureRate float64
+	// FlitCorruptionRate is the per-transfer-attempt probability that
+	// the payload arrives corrupted, forcing a NACK and a retransmit.
+	FlitCorruptionRate float64
+	// GrantStallRate is the per-arbitration-cycle probability that the
+	// arbiter's grant pulse is lost and no transfer starts that cycle.
+	GrantStallRate float64
+	// MemSlowRate is the per-access probability that an L3/DRAM
+	// response is served from a degraded (slow) path.
+	MemSlowRate float64
+	// MemSlowFactor multiplies the service time of a slow memory
+	// response (default 4).
+	MemSlowFactor float64
+	// MaxRetries bounds the retransmit attempts per transfer before
+	// the ECC layer is assumed to correct the residual errors
+	// (default 6).
+	MaxRetries int
+	// MaxBackoffCycles caps the exponential retransmit backoff
+	// (default 64 cycles).
+	MaxBackoffCycles int64
+}
+
+// Validate checks that every rate is a probability and the knobs are
+// physical.
+func (c Config) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := check("LinkFailureRate", c.LinkFailureRate); err != nil {
+		return err
+	}
+	if err := check("FlitCorruptionRate", c.FlitCorruptionRate); err != nil {
+		return err
+	}
+	if err := check("GrantStallRate", c.GrantStallRate); err != nil {
+		return err
+	}
+	if err := check("MemSlowRate", c.MemSlowRate); err != nil {
+		return err
+	}
+	if c.MemSlowFactor < 0 {
+		return fmt.Errorf("fault: negative MemSlowFactor %v", c.MemSlowFactor)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("fault: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.MaxBackoffCycles < 0 {
+		return fmt.Errorf("fault: negative MaxBackoffCycles %d", c.MaxBackoffCycles)
+	}
+	return nil
+}
+
+// Active reports whether the scenario injects any fault at all.
+func (c Config) Active() bool {
+	return c.LinkFailureRate > 0 || c.FlitCorruptionRate > 0 ||
+		c.GrantStallRate > 0 || c.MemSlowRate > 0
+}
+
+// Injector is the runtime fault oracle. A nil *Injector is valid and
+// behaves as a perfectly healthy system, so call sites never need a
+// nil check.
+type Injector struct {
+	cfg Config
+}
+
+// New builds an injector for the scenario.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MemSlowFactor == 0 {
+		cfg.MemSlowFactor = 4
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 6
+	}
+	if cfg.MaxBackoffCycles == 0 {
+		cfg.MaxBackoffCycles = 64
+	}
+	return &Injector{cfg: cfg}, nil
+}
+
+// Config returns the scenario the injector was built from.
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong
+// 64-bit mixer, here used as a keyed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes a short domain string.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// roll returns a uniform [0,1) draw fully determined by
+// (seed, domain, a, b).
+func (in *Injector) roll(domain string, a, b int64) float64 {
+	h := splitmix64(uint64(in.cfg.Seed) ^ fnv1a(domain))
+	h = splitmix64(h ^ uint64(a))
+	h = splitmix64(h ^ uint64(b))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// LinkDown reports whether the physical segment (domain, id) is
+// permanently dead in this scenario. The domain string names the
+// structure ("htree/req", "mesh", …) so distinct wire sets fail
+// independently.
+func (in *Injector) LinkDown(domain string, id int) bool {
+	if in == nil || in.cfg.LinkFailureRate <= 0 {
+		return false
+	}
+	return in.roll("link/"+domain, int64(id), 0) < in.cfg.LinkFailureRate
+}
+
+// CorruptTransfer reports whether the attempt-th transmission of the
+// given packet arrives corrupted (and must be NACKed and retried).
+func (in *Injector) CorruptTransfer(domain string, pkt int64, attempt int) bool {
+	if in == nil || in.cfg.FlitCorruptionRate <= 0 {
+		return false
+	}
+	return in.roll("flit/"+domain, pkt, int64(attempt)) < in.cfg.FlitCorruptionRate
+}
+
+// StallGrant reports whether the arbitration at the given cycle loses
+// its grant pulse.
+func (in *Injector) StallGrant(domain string, cycle int64) bool {
+	if in == nil || in.cfg.GrantStallRate <= 0 {
+		return false
+	}
+	return in.roll("grant/"+domain, cycle, 0) < in.cfg.GrantStallRate
+}
+
+// SlowMem returns the (possibly inflated) service delay of an L3/DRAM
+// access to addr whose healthy delay is the given number of cycles.
+func (in *Injector) SlowMem(addr uint64, delay int64) int64 {
+	if in == nil || in.cfg.MemSlowRate <= 0 || delay <= 0 {
+		return delay
+	}
+	if in.roll("mem", int64(addr), 0) < in.cfg.MemSlowRate {
+		slowed := int64(math.Round(float64(delay) * in.cfg.MemSlowFactor))
+		if slowed > delay {
+			return slowed
+		}
+	}
+	return delay
+}
+
+// MaxRetries is the retransmit bound per transfer.
+func (in *Injector) MaxRetries() int {
+	if in == nil {
+		return 0
+	}
+	return in.cfg.MaxRetries
+}
+
+// Backoff returns the exponential backoff (in cycles) a transfer waits
+// before its attempt-th retransmission: 2^attempt, capped.
+func (in *Injector) Backoff(attempt int) int64 {
+	if in == nil {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	b := int64(1)
+	for i := 0; i < attempt && b < in.cfg.MaxBackoffCycles; i++ {
+		b <<= 1
+	}
+	if b > in.cfg.MaxBackoffCycles {
+		b = in.cfg.MaxBackoffCycles
+	}
+	return b
+}

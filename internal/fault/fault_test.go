@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilInjectorIsHealthy(t *testing.T) {
+	var in *Injector
+	if in.LinkDown("htree", 3) {
+		t.Error("nil injector reported a dead link")
+	}
+	if in.CorruptTransfer("bus", 42, 0) {
+		t.Error("nil injector corrupted a transfer")
+	}
+	if in.StallGrant("bus", 100) {
+		t.Error("nil injector stalled a grant")
+	}
+	if d := in.SlowMem(0x1000, 7); d != 7 {
+		t.Errorf("nil injector changed a memory delay: %d", d)
+	}
+	if in.MaxRetries() != 0 || in.Backoff(3) != 0 {
+		t.Error("nil injector has retry behavior")
+	}
+}
+
+func TestZeroRateConfigIsHealthy(t *testing.T) {
+	in, err := New(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Config().Active() {
+		t.Error("zero-rate config reported active")
+	}
+	for id := 0; id < 1000; id++ {
+		if in.LinkDown("htree", id) {
+			t.Fatal("zero-rate injector killed a link")
+		}
+	}
+	if in.SlowMem(0xBEEF, 11) != 11 {
+		t.Error("zero-rate injector slowed memory")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Injector {
+		in, err := New(Config{Seed: 99, LinkFailureRate: 0.3, FlitCorruptionRate: 0.2, GrantStallRate: 0.1, MemSlowRate: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	for id := 0; id < 500; id++ {
+		if a.LinkDown("htree/req", id) != b.LinkDown("htree/req", id) {
+			t.Fatalf("link decision for %d not deterministic", id)
+		}
+		if a.CorruptTransfer("bus", int64(id), id%4) != b.CorruptTransfer("bus", int64(id), id%4) {
+			t.Fatalf("corruption decision for %d not deterministic", id)
+		}
+	}
+	// Decisions must not depend on call order.
+	c := mk()
+	later := c.LinkDown("htree/req", 400)
+	if later != a.LinkDown("htree/req", 400) {
+		t.Error("link decision depends on call order")
+	}
+}
+
+func TestDomainsFailIndependently(t *testing.T) {
+	in, err := New(Config{Seed: 3, LinkFailureRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	const n = 200
+	for id := 0; id < n; id++ {
+		if in.LinkDown("net/req", id) == in.LinkDown("net/data", id) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("request and data domains share one fault pattern")
+	}
+}
+
+func TestFailureRateRoughlyCalibrated(t *testing.T) {
+	in, err := New(Config{Seed: 11, LinkFailureRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	const n = 20000
+	for id := 0; id < n; id++ {
+		if in.LinkDown("cal", id) {
+			dead++
+		}
+	}
+	frac := float64(dead) / n
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Errorf("empirical failure rate %v, want ≈0.1", frac)
+	}
+}
+
+func TestBackoffBoundedAndMonotone(t *testing.T) {
+	in, err := New(Config{Seed: 1, FlitCorruptionRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	for a := 1; a <= 12; a++ {
+		b := in.Backoff(a)
+		if b < prev {
+			t.Errorf("backoff not monotone: attempt %d gives %d after %d", a, b, prev)
+		}
+		if b > in.Config().MaxBackoffCycles {
+			t.Errorf("backoff %d exceeds cap %d", b, in.Config().MaxBackoffCycles)
+		}
+		prev = b
+	}
+	if in.Backoff(20) != in.Config().MaxBackoffCycles {
+		t.Error("deep retry not capped at MaxBackoffCycles")
+	}
+}
+
+func TestSlowMemInflates(t *testing.T) {
+	in, err := New(Config{Seed: 5, MemSlowRate: 1, MemSlowFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.SlowMem(0x40, 10); d != 30 {
+		t.Errorf("slow access delay = %d, want 30", d)
+	}
+	healthy, _ := New(Config{Seed: 5})
+	if d := healthy.SlowMem(0x40, 10); d != 10 {
+		t.Errorf("healthy access delay = %d, want 10", d)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{LinkFailureRate: -0.1},
+		{FlitCorruptionRate: 1.5},
+		{GrantStallRate: math.NaN()},
+		{MemSlowRate: 2},
+		{MemSlowFactor: -1},
+		{MaxRetries: -1},
+		{MaxBackoffCycles: -5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, c)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New accepted invalid config %d", i)
+		}
+	}
+	if err := (Config{Seed: 9, LinkFailureRate: 0.1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package noc
+
+import (
+	"fmt"
+
+	"cryowire/internal/fault"
+)
+
+// Error-returning topology constructors. The New* constructors panic on
+// impossible shapes, which is fine for the static, known-good call
+// sites inside experiments and tests; anything reachable from the
+// public cryowire API (user-supplied node counts) must use these
+// Build* variants instead: they validate first and only then delegate
+// to the (now guaranteed panic-free) New* builder.
+
+// validSquare checks that nodes lays out on a square grid.
+func validSquare(kind string, nodes int) error {
+	if nodes <= 0 {
+		return fmt.Errorf("noc: %s needs a positive node count, got %d", kind, nodes)
+	}
+	side := gridSide(nodes)
+	if side*side != nodes {
+		return fmt.Errorf("noc: %s needs a square node count, got %d", kind, nodes)
+	}
+	return nil
+}
+
+// BuildMesh is the validating variant of NewMesh.
+func BuildMesh(nodes int, timing Timing) (*RouterNet, error) {
+	if err := validSquare("mesh", nodes); err != nil {
+		return nil, err
+	}
+	return NewMesh(nodes, timing), nil
+}
+
+// BuildCMesh is the validating variant of NewCMesh.
+func BuildCMesh(nodes int, timing Timing) (*RouterNet, error) {
+	const conc = 4
+	if nodes <= 0 || nodes%conc != 0 {
+		return nil, fmt.Errorf("noc: cmesh needs a positive multiple of %d nodes, got %d", conc, nodes)
+	}
+	if err := validSquare("cmesh router grid", nodes/conc); err != nil {
+		return nil, err
+	}
+	return NewCMesh(nodes, timing), nil
+}
+
+// BuildRing is the validating variant of NewRing.
+func BuildRing(nodes int, timing Timing) (*RouterNet, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("noc: ring needs at least 2 nodes, got %d", nodes)
+	}
+	return NewRing(nodes, timing), nil
+}
+
+// BuildFlattenedButterfly is the validating variant of
+// NewFlattenedButterfly.
+func BuildFlattenedButterfly(nodes int, timing Timing) (*RouterNet, error) {
+	const conc = 4
+	if nodes <= 0 || nodes%conc != 0 {
+		return nil, fmt.Errorf("noc: flattened butterfly needs 4·k² nodes, got %d", nodes)
+	}
+	if err := validSquare("flattened butterfly router grid", nodes/conc); err != nil {
+		return nil, err
+	}
+	return NewFlattenedButterfly(nodes, timing), nil
+}
+
+// BuildTorus is the validating variant of NewTorus.
+func BuildTorus(nodes int, timing Timing) (*RouterNet, error) {
+	if err := validSquare("torus", nodes); err != nil {
+		return nil, err
+	}
+	return NewTorus(nodes, timing), nil
+}
+
+// ApplyFaults degrades the router network per the fault scenario: every
+// link the injector declares dead is replaced by its slow spare wire
+// (roughly triple the flight time plus the mux turns on and off the
+// spare), and the zero-load latency is recomputed over the degraded
+// link set. Routing is unchanged — the spare follows the same path —
+// so connectivity and deadlock-freedom are preserved. The domain string
+// namespaces this network's fault pattern (defaults to the network
+// name). Call before traffic starts; a nil or inactive injector is a
+// no-op.
+func (rn *RouterNet) ApplyFaults(inj *fault.Injector, domain string) {
+	if inj == nil || !inj.Config().Active() {
+		return
+	}
+	if domain == "" {
+		domain = rn.name
+	}
+	id := 0
+	degraded := false
+	for ri := range rn.routers {
+		r := &rn.routers[ri]
+		for li := range r.links {
+			if inj.LinkDown(domain, id) {
+				lnk := &r.links[li]
+				lnk.wireCycles = lnk.wireCycles*3 + 2
+				degraded = true
+			}
+			id++
+		}
+	}
+	if degraded {
+		rn.computeZeroLoad()
+	}
+}

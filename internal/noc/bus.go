@@ -3,6 +3,8 @@ package noc
 import (
 	"fmt"
 	"math"
+
+	"cryowire/internal/fault"
 )
 
 // MatrixArbiter is the least-recently-granted arbiter CryoBus uses
@@ -26,10 +28,11 @@ func NewMatrixArbiter(n int) *MatrixArbiter {
 }
 
 // Grant picks the highest-priority requester (or -1) and updates the
-// matrix so the winner becomes lowest priority.
-func (a *MatrixArbiter) Grant(requests []bool) int {
+// matrix so the winner becomes lowest priority. A request slice of the
+// wrong size is a wiring bug and is reported as an error.
+func (a *MatrixArbiter) Grant(requests []bool) (int, error) {
 	if len(requests) != a.n {
-		panic(fmt.Sprintf("noc: arbiter sized %d got %d requests", a.n, len(requests)))
+		return -1, fmt.Errorf("noc: arbiter sized %d got %d requests", a.n, len(requests))
 	}
 	granted := -1
 	for i := 0; i < a.n; i++ {
@@ -56,7 +59,7 @@ func (a *MatrixArbiter) Grant(requests []bool) int {
 			}
 		}
 	}
-	return granted
+	return granted, nil
 }
 
 // BusLayout describes the physical shape of a bus in 2 mm tile hops.
@@ -204,6 +207,13 @@ type BusConfig struct {
 	DynamicLinks bool
 	// QueueCap bounds each node's outstanding request queue.
 	QueueCap int
+	// Injector, when set and active, injects faults: dead layout
+	// segments (degrading the broadcast span), corrupted transfers
+	// (NACK + backoff retransmit), and lost grant pulses.
+	Injector *fault.Injector
+	// FaultDomain namespaces this bus's fault pattern so e.g. request
+	// and data buses fail independently. Defaults to Name.
+	FaultDomain string
 }
 
 // Bus is a cycle-level snooping-bus simulator: requests travel on
@@ -221,6 +231,9 @@ type Bus struct {
 	stats    Stats
 	reqs     []bool // scratch
 	energy   Energy
+	inj      *fault.Injector
+	domain   string
+	retry    map[*Packet]*retryState
 	// OnDeliver, when set, receives delivered packets instead of the
 	// internal stats (used by composite networks such as the hybrid).
 	OnDeliver func(p *Packet, now int64)
@@ -231,18 +244,60 @@ type busInflight struct {
 	deliverAt int64
 }
 
+// retryState tracks a NACKed packet waiting out its backoff.
+type retryState struct {
+	attempts   int
+	eligibleAt int64
+}
+
 // NewBus builds the bus.
 func NewBus(cfg BusConfig) *Bus {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 16
 	}
-	return &Bus{
+	b := &Bus{
 		cfg:    cfg,
 		arb:    NewMatrixArbiter(cfg.Nodes),
 		queues: make([][]*Packet, cfg.Nodes),
 		reqs:   make([]bool, cfg.Nodes),
 	}
+	if cfg.Injector != nil {
+		b.AttachInjector(cfg.Injector, cfg.FaultDomain)
+	}
+	return b
 }
+
+// AttachInjector arms the bus with a fault scenario: the injector
+// decides which layout segments are dead (the layout is rebuilt over
+// the surviving topology, degrading broadcast timing), which transfers
+// arrive corrupted, and which grant pulses are lost. The domain string
+// namespaces this bus's fault pattern (defaults to the bus name). Must
+// be called before traffic starts. A nil or inactive injector leaves
+// the bus — and its cycle-exact behavior — untouched.
+func (b *Bus) AttachInjector(inj *fault.Injector, domain string) {
+	if inj == nil || !inj.Config().Active() {
+		return
+	}
+	if domain == "" {
+		domain = b.cfg.Name
+	}
+	b.inj = inj
+	b.domain = domain
+	b.retry = make(map[*Packet]*retryState)
+	switch l := b.cfg.Layout.(type) {
+	case HTreeLayout:
+		if d := degradeHTreeWith(l, inj, domain); d != nil {
+			b.cfg.Layout = d
+		}
+	case SerpentineLayout:
+		if d := degradeSerpentineWith(l, inj, domain); d != nil {
+			b.cfg.Layout = d
+		}
+	}
+}
+
+// Layout exposes the (possibly degraded) bus layout.
+func (b *Bus) Layout() BusLayout { return b.cfg.Layout }
 
 // Name implements Network.
 func (b *Bus) Name() string { return b.cfg.Name }
@@ -317,19 +372,33 @@ func (b *Bus) Step() {
 	}
 	b.inflight = keep
 	// Arbitration: one new owner whenever the bus is free. A request is
-	// visible at the arbiter after its request-wire flight time.
+	// visible at the arbiter after its request-wire flight time (and,
+	// for a NACKed packet, after its retransmit backoff has elapsed).
 	if b.busFree <= now {
+		if b.inj.StallGrant(b.domain, now) {
+			// The grant pulse is lost this cycle: requesters keep
+			// waiting and re-arbitrate next cycle.
+			b.stats.GrantStalls++
+			b.now++
+			return
+		}
 		for i := range b.reqs {
 			b.reqs[i] = false
 			if len(b.queues[i]) > 0 {
 				head := b.queues[i][0]
 				reqWire := int64(b.cfg.Timing.WireCycles(b.cfg.Layout.ReqHops(i)))
-				if head.InjectedAt+reqWire <= now {
-					b.reqs[i] = true
+				if head.InjectedAt+reqWire > now {
+					continue
 				}
+				if rs, ok := b.retry[head]; ok && rs.eligibleAt > now {
+					continue
+				}
+				b.reqs[i] = true
 			}
 		}
-		g := b.arb.Grant(b.reqs)
+		// reqs is sized to the arbiter by construction, so Grant cannot
+		// fail.
+		g, _ := b.arb.Grant(b.reqs)
 		if g >= 0 {
 			p := b.queues[g][0]
 			b.queues[g] = b.queues[g][1:]
@@ -348,7 +417,25 @@ func (b *Bus) Step() {
 			grantLat := int64(1+b.cfg.ControlCycles) + int64(b.cfg.Timing.WireCycles(b.cfg.Layout.ReqHops(g)))
 			start := now + grantLat
 			b.busFree = now + tc
-			b.inflight = append(b.inflight, busInflight{p: p, deliverAt: start + tc})
+			attempts := 0
+			if rs, ok := b.retry[p]; ok {
+				attempts = rs.attempts
+			}
+			if b.inj.CorruptTransfer(b.domain, p.ID, attempts) && attempts < b.inj.MaxRetries() {
+				// The transfer arrived corrupted: the receivers NACK it
+				// and the source retransmits after an exponential
+				// backoff. The corrupted attempt still occupied the bus
+				// and drove the wires.
+				b.stats.Retransmits++
+				b.queues[g] = append([]*Packet{p}, b.queues[g]...)
+				b.retry[p] = &retryState{attempts: attempts + 1, eligibleAt: now + tc + b.inj.Backoff(attempts+1)}
+			} else {
+				// Clean transfer — or the retry budget is exhausted and
+				// the ECC layer is assumed to correct the residue, so
+				// the packet is delivered rather than hanging forever.
+				delete(b.retry, p)
+				b.inflight = append(b.inflight, busInflight{p: p, deliverAt: start + tc})
+			}
 		}
 	}
 	b.now++
@@ -439,6 +526,8 @@ func (ib *InterleavedBus) Stats() *Stats {
 		s := b.Stats()
 		agg.Delivered += s.Delivered
 		agg.TotalLatency += s.TotalLatency
+		agg.Retransmits += s.Retransmits
+		agg.GrantStalls += s.GrantStalls
 		if s.MaxLatency > agg.MaxLatency {
 			agg.MaxLatency = s.MaxLatency
 		}
@@ -469,6 +558,20 @@ func (ib *InterleavedBus) SetOnDeliver(f func(p *Packet, now int64)) {
 		b.OnDeliver = f
 	}
 }
+
+// AttachInjector arms every stripe with the fault scenario, each under
+// its own sub-domain so physically distinct stripes fail independently.
+func (ib *InterleavedBus) AttachInjector(inj *fault.Injector, domain string) {
+	if domain == "" {
+		domain = ib.name
+	}
+	for i, b := range ib.buses {
+		b.AttachInjector(inj, fmt.Sprintf("%s/stripe%d", domain, i))
+	}
+}
+
+// Stripes exposes the per-stripe buses (read-only use).
+func (ib *InterleavedBus) Stripes() []*Bus { return ib.buses }
 
 // ZeroLoadLatency implements Network (same as a single stripe).
 func (ib *InterleavedBus) ZeroLoadLatency() float64 {

@@ -53,6 +53,12 @@ type Stats struct {
 	Delivered    int64
 	TotalLatency int64 // sum over delivered packets, cycles
 	MaxLatency   int64
+	// Retransmits counts transfers that arrived corrupted and were
+	// NACKed and re-sent (fault injection only).
+	Retransmits int64
+	// GrantStalls counts arbitration cycles whose grant pulse was lost
+	// (fault injection only).
+	GrantStalls int64
 }
 
 // Record notes a delivery.

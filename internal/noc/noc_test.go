@@ -131,7 +131,10 @@ func TestMatrixArbiterFairness(t *testing.T) {
 	req := []bool{true, true, true, true}
 	grants := make(map[int]int)
 	for i := 0; i < 400; i++ {
-		g := a.Grant(req)
+		g, err := a.Grant(req)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if g < 0 {
 			t.Fatal("arbiter granted nobody with all requesting")
 		}
@@ -143,8 +146,8 @@ func TestMatrixArbiterFairness(t *testing.T) {
 		}
 	}
 	// No request → no grant.
-	if g := a.Grant([]bool{false, false, false, false}); g != -1 {
-		t.Errorf("grant with no requests = %d, want -1", g)
+	if g, err := a.Grant([]bool{false, false, false, false}); err != nil || g != -1 {
+		t.Errorf("grant with no requests = %d, %v, want -1, nil", g, err)
 	}
 }
 
@@ -153,9 +156,104 @@ func TestMatrixArbiterSingleRequester(t *testing.T) {
 	req := make([]bool, 8)
 	req[5] = true
 	for i := 0; i < 10; i++ {
-		if g := a.Grant(req); g != 5 {
-			t.Fatalf("grant = %d, want 5", g)
+		if g, err := a.Grant(req); err != nil || g != 5 {
+			t.Fatalf("grant = %d, %v, want 5, nil", g, err)
 		}
+	}
+}
+
+func TestMatrixArbiterStarvationFreedom(t *testing.T) {
+	// One hot requester asking every cycle must not starve a requester
+	// that asks every cycle too but starts as lowest priority: with the
+	// LRU matrix, any persistent requester is granted within n cycles.
+	const n = 8
+	a := NewMatrixArbiter(n)
+	req := make([]bool, n)
+	for i := range req {
+		req[i] = true
+	}
+	lastGrant := make([]int, n)
+	for i := range lastGrant {
+		lastGrant[i] = -1
+	}
+	for cyc := 0; cyc < 1000; cyc++ {
+		g, err := a.Grant(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if i != g && lastGrant[i] >= 0 && cyc-lastGrant[i] > n {
+				t.Fatalf("requester %d starved: no grant between cycles %d and %d", i, lastGrant[i], cyc)
+			}
+		}
+		lastGrant[g] = cyc
+	}
+}
+
+func TestMatrixArbiterAdversarialPatterns(t *testing.T) {
+	const n = 4
+	t.Run("one hot vs the field", func(t *testing.T) {
+		// Requester 0 asks every cycle; the others ask on alternating
+		// cycles. Nobody may be locked out, and requester 0 must not
+		// monopolize the bus.
+		a := NewMatrixArbiter(n)
+		grants := make([]int, n)
+		for cyc := 0; cyc < 800; cyc++ {
+			req := []bool{true, cyc%2 == 0, cyc%2 == 1, cyc%2 == 0}
+			g, err := a.Grant(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g < 0 {
+				t.Fatal("no grant while requests pending")
+			}
+			grants[g]++
+		}
+		for i, c := range grants {
+			if c == 0 {
+				t.Errorf("requester %d never granted", i)
+			}
+		}
+		if grants[0] > 500 {
+			t.Errorf("hot requester monopolized: %d of 800 grants", grants[0])
+		}
+	})
+	t.Run("alternating pairs", func(t *testing.T) {
+		// Even and odd requesters alternate; within each phase the LRU
+		// matrix must keep splitting grants evenly.
+		a := NewMatrixArbiter(n)
+		grants := make([]int, n)
+		for cyc := 0; cyc < 400; cyc++ {
+			even := cyc%2 == 0
+			req := []bool{even, !even, even, !even}
+			g, err := a.Grant(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grants[g]++
+		}
+		for i, c := range grants {
+			if c != 100 {
+				t.Errorf("requester %d got %d of 400 grants, want 100", i, c)
+			}
+		}
+	})
+}
+
+func TestMatrixArbiterMisSizedRequestSlice(t *testing.T) {
+	a := NewMatrixArbiter(4)
+	for _, bad := range [][]bool{nil, {true}, make([]bool, 5)} {
+		g, err := a.Grant(bad)
+		if err == nil {
+			t.Errorf("mis-sized request slice (len %d) not rejected", len(bad))
+		}
+		if g != -1 {
+			t.Errorf("mis-sized request slice granted %d", g)
+		}
+	}
+	// The arbiter must stay usable after a rejected call.
+	if g, err := a.Grant([]bool{true, false, false, false}); err != nil || g != 0 {
+		t.Errorf("grant after rejection = %d, %v, want 0, nil", g, err)
 	}
 }
 

@@ -1,6 +1,21 @@
 package phys
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// ValidTemperature reports whether t is a physically meaningful
+// operating temperature — the cooling-model mirror of
+// OperatingPoint.Valid. Public entry points (cryowire.TemperatureSweep)
+// validate user-supplied temperatures through this before computing
+// overheads.
+func ValidTemperature(t Kelvin) error {
+	if math.IsNaN(float64(t)) || t <= 0 {
+		return fmt.Errorf("phys: non-positive temperature %v", t)
+	}
+	return nil
+}
 
 // CoolingModel converts device power into total (device + cryocooler)
 // power. The paper assumes an LN-recycling Stinger cooling plant whose
@@ -23,10 +38,13 @@ func DefaultCooling() CoolingModel {
 
 // Overhead returns CO(T): the compressor watts required to remove one
 // watt of heat at temperature t. Eq. (1) of the paper with
-// CO = (T_amb − T) / (η_carnot · T).
+// CO = (T_amb − T) / (η_carnot · T). An unphysical (non-positive)
+// temperature costs infinite compressor power; callers taking
+// user-supplied temperatures should reject them up front with
+// ValidTemperature.
 func (c CoolingModel) Overhead(t Kelvin) float64 {
-	if t <= 0 {
-		panic(fmt.Sprintf("phys: non-positive temperature %v", t))
+	if err := ValidTemperature(t); err != nil {
+		return math.Inf(1)
 	}
 	if t >= c.Ambient {
 		return 0 // no refrigeration needed at or above ambient

@@ -26,6 +26,8 @@ var Nominal45 = OperatingPoint{T: T300, Vdd: 1.25, Vth: 0.47}
 // Valid reports whether the operating point is physically meaningful.
 func (op OperatingPoint) Valid() error {
 	switch {
+	case math.IsNaN(float64(op.T)) || math.IsNaN(float64(op.Vdd)) || math.IsNaN(float64(op.Vth)):
+		return fmt.Errorf("phys: NaN operating point (T=%v Vdd=%v Vth=%v)", op.T, op.Vdd, op.Vth)
 	case op.T <= 0:
 		return fmt.Errorf("phys: non-positive temperature %v", op.T)
 	case op.Vdd <= 0:

@@ -184,12 +184,17 @@ type Kelvin = phys.Kelvin
 // TemperatureSweep computes the Fig 27 curves between 300 K and 77 K.
 // Frequency, voltage and performance interpolate linearly with
 // temperature (the paper's §7.4 assumption); cooling overhead follows
-// the 30 %-of-Carnot model.
-func (m *Model) TemperatureSweep(temps []Kelvin) []SweepPoint {
+// the 30 %-of-Carnot model. Unphysical temperatures are rejected.
+func (m *Model) TemperatureSweep(temps []Kelvin) ([]SweepPoint, error) {
 	const (
 		f300, f77 = 4.0, 7.84
 		v300, v77 = 1.25, 0.64
 	)
+	for _, t := range temps {
+		if err := phys.ValidTemperature(t); err != nil {
+			return nil, err
+		}
+	}
 	var out []SweepPoint
 	for _, t := range temps {
 		frac := float64(300-t) / float64(300-77)
@@ -212,5 +217,5 @@ func (m *Model) TemperatureSweep(temps []Kelvin) []SweepPoint {
 		p.PerfPerPower = p.RelPerformance / p.RelPower
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }

@@ -98,9 +98,15 @@ func TestNoCStaticEliminatedAt77K(t *testing.T) {
 func TestFig27SweetSpot(t *testing.T) {
 	m := NewModel()
 	temps := []Kelvin{300, 250, 200, 150, 125, 100, 90, 77}
-	pts := m.TemperatureSweep(temps)
+	pts, err := m.TemperatureSweep(temps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != len(temps) {
 		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	if _, err := m.TemperatureSweep([]Kelvin{300, -4}); err == nil {
+		t.Error("unphysical temperature accepted")
 	}
 	// Performance rises monotonically with cooling.
 	for i := 1; i < len(pts); i++ {
@@ -131,7 +137,10 @@ func TestFig27SweetSpot(t *testing.T) {
 
 func TestSweepClampsOutsideRange(t *testing.T) {
 	m := NewModel()
-	pts := m.TemperatureSweep([]Kelvin{350, 60})
+	pts, err := m.TemperatureSweep([]Kelvin{350, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pts[0].FreqGHz != 4.0 {
 		t.Errorf("above 300K frequency should clamp to 4.0, got %v", pts[0].FreqGHz)
 	}

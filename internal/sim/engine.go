@@ -286,6 +286,9 @@ func (s *System) advanceLeg(t *txn) {
 			delay += s.dramCycles(t.addr, s.now)
 			t.phase = BucketDRAM
 		}
+		// Fault scenario: this access may be served from a degraded
+		// (slow) L3/DRAM path.
+		delay = s.inj.SlowMem(t.addr, delay)
 	}
 	if delay == 0 {
 		s.injectLeg(t)
@@ -491,16 +494,35 @@ func (s *System) totalCommitted() float64 {
 	return t
 }
 
-// Run executes warmup + measurement and returns the result.
-func (s *System) Run() Result {
+// Run executes warmup + measurement and returns the result. The
+// watchdog samples the run every CheckInterval cycles; a deadlocked or
+// livelocked system returns a cycle-stamped *StallError instead of
+// spinning forever.
+func (s *System) Run() (Result, error) {
+	wd := &watchdogState{cfg: s.cfg.Watchdog.withDefaults()}
+	check := func(cycle int) error {
+		if s.cfg.Watchdog.Disabled || cycle%wd.cfg.CheckInterval != 0 {
+			return nil
+		}
+		if serr := s.checkWatchdog(wd); serr != nil {
+			return serr
+		}
+		return nil
+	}
 	for i := 0; i < s.cfg.WarmupCycles; i++ {
 		s.Step()
+		if err := check(i + 1); err != nil {
+			return Result{}, err
+		}
 	}
 	s.measuring = true
 	s.instrBase = s.totalCommitted()
 	completedBase := s.completed
 	for i := 0; i < s.cfg.MeasureCycles; i++ {
 		s.Step()
+		if err := check(s.cfg.WarmupCycles + i + 1); err != nil {
+			return Result{}, err
+		}
 	}
 	instr := s.totalCommitted() - s.instrBase
 	ns := float64(s.cfg.MeasureCycles) / s.design.NoC.FreqGHz
@@ -527,7 +549,36 @@ func (s *System) Run() Result {
 		// latSum counts per-leg latencies; average per message.
 		res.AvgNoCLatency = float64(s.latSum) / float64(s.latMsgs())
 	}
-	return res
+	res.Retransmits = s.netRetransmits()
+	res.DegradedBroadcastCycles = s.broadcastCycles()
+	return res, nil
+}
+
+// netRetransmits totals NACK-forced retransmits across both networks.
+func (s *System) netRetransmits() int64 {
+	total := s.net.Stats().Retransmits
+	if s.dataNet != nil {
+		total += s.dataNet.Stats().Retransmits
+	}
+	return total
+}
+
+// broadcastCycles reports the data-path broadcast span in NoC cycles
+// over the (possibly fault-degraded) bus layout; 0 for non-bus designs.
+func (s *System) broadcastCycles() float64 {
+	n := s.dataNet
+	if n == nil {
+		n = s.net
+	}
+	switch v := n.(type) {
+	case *noc.Bus:
+		return float64(v.Timing().WireCycles(v.Layout().BroadcastHops()))
+	case *noc.InterleavedBus:
+		b := v.Stripes()[0]
+		return float64(b.Timing().WireCycles(b.Layout().BroadcastHops()))
+	default:
+		return 0
+	}
 }
 
 // latMsgs estimates the number of measured messages (legs ≈ 2.2 per

@@ -17,6 +17,7 @@ import (
 
 	"cryowire/internal/coherence"
 	"cryowire/internal/dram"
+	"cryowire/internal/fault"
 	"cryowire/internal/mem"
 	"cryowire/internal/noc"
 	"cryowire/internal/phys"
@@ -150,6 +151,13 @@ type Result struct {
 	AvgNoCLatency float64
 	// Transactions counts completed coherence transactions.
 	Transactions int64
+	// Retransmits counts NACKed bus transfers that were re-sent
+	// (fault injection only).
+	Retransmits int64
+	// DegradedBroadcastCycles is the (possibly fault-degraded) data-bus
+	// broadcast span in NoC cycles; 0 for non-bus designs. Healthy
+	// CryoBus reports its 1-cycle broadcast here.
+	DegradedBroadcastCycles float64
 }
 
 // NoCShare returns the network-bound fraction of the CPI stack — the
@@ -162,6 +170,12 @@ type Config struct {
 	WarmupCycles  int
 	MeasureCycles int
 	Seed          int64
+	// Fault, when non-nil, injects the configured fault scenario into
+	// the interconnect and memory path. Nil runs a healthy system.
+	Fault *fault.Config
+	// Watchdog configures deadlock/livelock detection; the zero value
+	// enables it with defaults.
+	Watchdog Watchdog
 }
 
 // DefaultConfig returns run lengths that trade a little noise for
@@ -219,6 +233,7 @@ type System struct {
 	// split-transaction bus organization). Nil for mesh/ideal designs.
 	dataNet   noc.Network
 	ideal     bool
+	inj       *fault.Injector
 	proto     protocol
 	dram      *dram.Memory
 	rng       *rand.Rand
@@ -294,7 +309,16 @@ func New(d Design, p workload.Profile, cfg Config) (*System, error) {
 		pendInj:  make(map[int64][]*injEvent),
 		inflight: make(map[*noc.Packet]inflightRef),
 	}
-	s.buildNetwork()
+	if cfg.Fault != nil && cfg.Fault.Active() {
+		inj, err := fault.New(*cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+	}
+	if err := s.buildNetwork(); err != nil {
+		return nil, err
+	}
 	if d.Memory.Temp < phys.T300 {
 		s.dram = dram.NewMemory(dram.CLLDRAM(), dramChannels, dramBanks)
 	} else {
@@ -326,8 +350,12 @@ func (s *System) lockInterval() float64 {
 	return 1000 / s.prof.LockMPKI
 }
 
-// buildNetwork instantiates the interconnect.
-func (s *System) buildNetwork() {
+// buildNetwork instantiates the interconnect. User-reachable (the
+// design's net kind and core count come in through the public API), so
+// every invalid shape is an error, not a panic. The request network
+// degrades under the "req" fault domain and the data network under
+// "data": physically distinct wire sets fail independently.
+func (s *System) buildNetwork() error {
 	d := s.design
 	mkShared := func() *noc.Bus {
 		return noc.NewBus(noc.BusConfig{
@@ -337,7 +365,12 @@ func (s *System) buildNetwork() {
 	}
 	switch d.Net {
 	case Mesh:
-		s.net = noc.NewMesh(d.Cores, d.NoC)
+		m, err := noc.BuildMesh(d.Cores, d.NoC)
+		if err != nil {
+			return err
+		}
+		m.ApplyFaults(s.inj, "req")
+		s.net = m
 	case SharedBus:
 		s.net = mkShared()
 		s.dataNet = mkShared()
@@ -351,7 +384,21 @@ func (s *System) buildNetwork() {
 		s.net = newIdealNet(d.Cores)
 		s.ideal = true
 	default:
-		panic(fmt.Sprintf("sim: unknown net kind %v", d.Net))
+		return fmt.Errorf("sim: unknown net kind %v", d.Net)
+	}
+	if s.inj != nil {
+		attach := func(n noc.Network, domain string) {
+			switch v := n.(type) {
+			case *noc.Bus:
+				v.AttachInjector(s.inj, domain)
+			case *noc.InterleavedBus:
+				v.AttachInjector(s.inj, domain)
+			}
+		}
+		attach(s.net, "req")
+		if s.dataNet != nil {
+			attach(s.dataNet, "data")
+		}
 	}
 	hook := func(n noc.Network) {
 		switch v := n.(type) {
@@ -369,6 +416,7 @@ func (s *System) buildNetwork() {
 	if s.dataNet != nil {
 		hook(s.dataNet)
 	}
+	return nil
 }
 
 // --- per-core rate derivations -------------------------------------------

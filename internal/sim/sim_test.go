@@ -20,7 +20,11 @@ func run(t *testing.T, d Design, wl string) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s.Run()
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 func TestDesignsValidate(t *testing.T) {
@@ -70,7 +74,11 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s.Run()
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
 	}
 	a, b := mk(), mk()
 	if a.Instructions != b.Instructions || a.Performance != b.Performance {
