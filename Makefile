@@ -1,10 +1,12 @@
 # Tier-1 verification lives behind `make check`: vet, a full build, and
-# the test suite under the race detector (the cycle-level simulator and
-# the experiment runners are the concurrency-sensitive parts).
+# the test suite under the race detector with a shuffled test order (the
+# cycle-level simulator, the shared platform cache and the parallel
+# experiment engine are the concurrency-sensitive parts).
 #
 #   make test    - quick gate: build + tests (the ROADMAP tier-1 command)
-#   make check   - full gate: vet + build + race-enabled tests (~3 min)
-#   make bench   - one benchmark per reproduced table/figure
+#   make check   - full gate: vet + build + race-enabled shuffled tests (~3 min)
+#   make bench   - Go benchmarks + serial-vs-parallel engine timing
+#                  (writes BENCH_platform.json)
 
 GO ?= go
 
@@ -22,9 +24,10 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 check: vet build race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchplatform -quick -o BENCH_platform.json

@@ -1,0 +1,111 @@
+// Command benchplatform measures the parallel experiment engine: it
+// runs the full experiment registry serially and with a worker pool,
+// checks the rendered reports are byte-identical, and writes the
+// wall-times to BENCH_platform.json. The speed-up criterion only
+// applies on multi-core machines, so the core count is recorded
+// alongside the timings.
+//
+// Usage:
+//
+//	benchplatform [-quick] [-o BENCH_platform.json]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"flag"
+
+	"cryowire/internal/experiments"
+	"cryowire/internal/par"
+	"cryowire/internal/platform"
+)
+
+type result struct {
+	Cores          int     `json:"cores"`
+	Workers        int     `json:"workers"`
+	Quick          bool    `json:"quick"`
+	Experiments    int     `json:"experiments"`
+	SerialSeconds  float64 `json:"serial_seconds"`
+	ParallelSecs   float64 `json:"parallel_seconds"`
+	Speedup        float64 `json:"speedup"`
+	ByteIdentical  bool    `json:"byte_identical"`
+	CacheHits      uint64  `json:"platform_cache_hits"`
+	CacheMisses    uint64  `json:"platform_cache_misses"`
+	FailedSerial   int     `json:"failed_serial"`
+	FailedParallel int     `json:"failed_parallel"`
+}
+
+// runAll renders every outcome into one deterministic blob.
+func runAll(opt experiments.Options) (string, int, time.Duration) {
+	start := time.Now()
+	ocs := experiments.RunAll(opt)
+	elapsed := time.Since(start)
+	blob := ""
+	failed := 0
+	for _, oc := range ocs {
+		if oc.Err != nil {
+			blob += oc.ID + ": ERROR: " + oc.Err.Error() + "\n"
+			failed++
+			continue
+		}
+		blob += oc.Report.Render()
+	}
+	return blob, failed, elapsed
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "use shrunk sweeps (what make bench runs)")
+	out := flag.String("o", "BENCH_platform.json", "output file")
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	workers := par.DefaultWorkers()
+
+	// Fresh platforms per leg keep the comparison honest: each leg pays
+	// its own derivations instead of inheriting the other's warm cache.
+	opt.Platform = platform.New()
+	opt.Workers = 1
+	serialBlob, serialFailed, serialDur := runAll(opt)
+
+	opt.Platform = platform.New()
+	opt.Workers = workers
+	parBlob, parFailed, parDur := runAll(opt)
+	stats := opt.Platform.Stats()
+
+	r := result{
+		Cores:          runtime.NumCPU(),
+		Workers:        workers,
+		Quick:          *quick,
+		Experiments:    len(experiments.IDs()),
+		SerialSeconds:  serialDur.Seconds(),
+		ParallelSecs:   parDur.Seconds(),
+		Speedup:        serialDur.Seconds() / parDur.Seconds(),
+		ByteIdentical:  serialBlob == parBlob,
+		CacheHits:      stats.Hits,
+		CacheMisses:    stats.Misses,
+		FailedSerial:   serialFailed,
+		FailedParallel: parFailed,
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchplatform: %v\n", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchplatform: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s", b)
+	if !r.ByteIdentical {
+		fmt.Fprintln(os.Stderr, "benchplatform: serial and parallel output differ")
+		os.Exit(1)
+	}
+}

@@ -7,21 +7,24 @@
 //	cryowire fig23            # run one experiment
 //	cryowire all              # run everything
 //	cryowire -quick fig21     # shrunk sweeps for a fast look
+//	cryowire -parallel all    # fan out over all CPUs (same output)
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"cryowire/internal/experiments"
+	"cryowire/internal/par"
 )
 
 var jsonOut bool
 
 func main() {
 	quick := flag.Bool("quick", false, "use shrunk sweeps and shorter simulations")
+	parallel := flag.Bool("parallel", false, "fan experiments out over all CPUs (output is identical to a serial run)")
+	workers := flag.Int("workers", 0, "exact worker count for -parallel (default: all CPUs)")
 	flag.BoolVar(&jsonOut, "json", false, "emit reports as JSON instead of text tables")
 	flag.Usage = usage
 	flag.Parse()
@@ -32,6 +35,12 @@ func main() {
 	opt := experiments.DefaultOptions()
 	if *quick {
 		opt = experiments.QuickOptions()
+	}
+	if *parallel {
+		opt.Workers = par.DefaultWorkers()
+	}
+	if *workers > 0 {
+		opt.Workers = *workers
 	}
 	arg := flag.Arg(0)
 	switch arg {
@@ -55,11 +64,18 @@ func main() {
 		// Keep going past failures: one broken experiment should not
 		// hide the results of the other thirty. Failures are collected
 		// and summarized, and the exit code is non-zero only at the end.
+		// RunAll returns outcomes in sorted-ID order regardless of the
+		// worker count, so serial and parallel output are byte-identical.
 		var failed []string
-		for _, id := range experiments.IDs() {
-			if err := runOne(id, opt); err != nil {
+		for _, oc := range experiments.RunAll(opt) {
+			if oc.Err != nil {
+				fmt.Fprintf(os.Stderr, "cryowire: %v\n", oc.Err)
+				failed = append(failed, oc.ID)
+				continue
+			}
+			if err := emit(oc.Report); err != nil {
 				fmt.Fprintf(os.Stderr, "cryowire: %v\n", err)
-				failed = append(failed, id)
+				failed = append(failed, oc.ID)
 			}
 		}
 		if len(failed) > 0 {
@@ -84,22 +100,34 @@ func runOne(id string, opt experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	return emit(r)
+}
+
+// emit writes one report to stdout in the selected format.
+func emit(r *experiments.Report) error {
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(r)
+		b, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
 	}
 	fmt.Println(r.Render())
 	return nil
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: cryowire [-quick] [-json] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: cryowire [-quick] [-json] [-parallel] [-workers n] <experiment>...
        cryowire list | all
 
 "list" and "all" stand alone and cannot be combined with experiment
 IDs. "all" runs every experiment, keeps going past failures, and exits
 non-zero only after printing a failure summary.
+
+-parallel fans the experiments (and their internal sweeps) out over a
+bounded worker pool; every task seeds from its own configuration, so
+the output is byte-identical to a serial run.
 
 Experiments reproduce the CryoWire paper's tables and figures; see
 DESIGN.md for the experiment index and EXPERIMENTS.md for results.

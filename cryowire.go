@@ -26,7 +26,7 @@ import (
 	"cryowire/internal/experiments"
 	"cryowire/internal/fault"
 	"cryowire/internal/noc"
-	"cryowire/internal/phys"
+	"cryowire/internal/platform"
 	"cryowire/internal/power"
 	"cryowire/internal/sim"
 	"cryowire/internal/wire"
@@ -45,7 +45,11 @@ type (
 	CryoBusReport = core.CryoBusReport
 )
 
-// New builds the default calibrated model suite.
+// New builds the default calibrated model suite. Every New call — and
+// every other top-level entry point in this package — shares one
+// process-wide Platform, a memoized derivation cache over the device
+// models, so repeated calls never re-derive wire solutions, NoC timings
+// or core specifications.
 func New() *CryoWire { return core.New() }
 
 // Experiment plumbing.
@@ -68,6 +72,18 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // RunExperiment reproduces one paper table/figure by ID.
 func RunExperiment(id string, opt Options) (*Report, error) {
 	return experiments.Run(id, opt)
+}
+
+// ExperimentOutcome is one RunAllExperiments result.
+type ExperimentOutcome = experiments.Outcome
+
+// RunAllExperiments reproduces every table and figure, in sorted-ID
+// order. Set Options.Workers > 1 to fan the registry out over a bounded
+// worker pool — outcomes are byte-identical to a serial run because
+// every experiment seeds from its own configuration, never from
+// execution order.
+func RunAllExperiments(opt Options) []ExperimentOutcome {
+	return experiments.RunAll(opt)
 }
 
 // System-simulation access for downstream users.
@@ -119,34 +135,20 @@ func Simulate(d Design, w Workload, cfg SimConfig) (res SimResult, err error) {
 
 // --- wire-study API (the Fig 5 workflow) ------------------------------------
 
+// WireClassNames lists the wire classes WireSpeedupAt accepts, in
+// canonical order: "local", "semi-global" and "global" are the ITRS
+// interconnect tiers of the Fig 5 study; "forwarding" is the in-core
+// bypass-network wire of Table 1 (the geometry behind CryoSP).
+func WireClassNames() []string { return wire.ClassNames() }
+
 // WireSpeedupAt returns the 300K→tempK speed-up of a driven wire of the
-// given class ("local", "semi-global", "global") and length. With
-// repeated=true the wire carries latency-optimal repeaters re-optimized
-// at each temperature.
+// given class (see WireClassNames) and length. With repeated=true the
+// wire carries latency-optimal repeaters re-optimized at each
+// temperature. Unknown classes and unphysical temperatures are errors.
+// Results are memoized on the shared Platform, so sweeping the same
+// class/length grid twice pays the repeater search only once.
 func WireSpeedupAt(class string, lengthMM, tempK float64, repeated bool) (float64, error) {
-	var spec wire.Spec
-	switch class {
-	case "local":
-		spec = wire.Local
-	case "semi-global":
-		spec = wire.SemiGlobal
-	case "global":
-		spec = wire.Global
-	case "forwarding":
-		spec = wire.Forwarding
-	default:
-		return 0, fmt.Errorf("cryowire: unknown wire class %q", class)
-	}
-	m := phys.DefaultMOSFET()
-	op := phys.OperatingPoint{T: phys.Kelvin(tempK), Vdd: phys.Nominal45.Vdd, Vth: phys.Nominal45.Vth}
-	if err := op.Valid(); err != nil {
-		return 0, err
-	}
-	drv := 1 + lengthMM*10
-	if repeated {
-		drv = 1
-	}
-	return wire.Speedup(wire.NewLine(spec, lengthMM, drv), op, m, repeated), nil
+	return platform.Default().WireSpeedupByClass(class, lengthMM, tempK, repeated)
 }
 
 // --- NoC design-space API (the Fig 21 workflow) -----------------------------
@@ -155,44 +157,36 @@ func WireSpeedupAt(class string, lengthMM, tempK float64, repeated bool) (float6
 type LoadLatencyPoint = noc.SweepPoint
 
 // NoCDesignNames lists the 64-core interconnects available to
-// NoCLoadLatency.
-func NoCDesignNames() []string {
-	return []string{"mesh", "torus", "ring", "cmesh", "fbfly", "sharedbus", "cryobus", "cryobus-2way"}
-}
+// NoCLoadLatency. The list is read from the same factory table that
+// builds the networks, so it can never drift from what NoCLoadLatency
+// accepts.
+func NoCDesignNames() []string { return noc.DesignNames() }
 
 // NoCLoadLatency sweeps injection rates over a named 64-core NoC at the
 // given temperature under a named traffic pattern ("uniform",
-// "transpose", "hotspot", "bitreverse", "burst").
+// "transpose", "hotspot", "bitreverse", "burst"). Designs are resolved
+// by the shared noc factory (see NoCDesignNames); timings come memoized
+// from the shared Platform.
 func NoCLoadLatency(design, pattern string, tempK float64, rates []float64) ([]LoadLatencyPoint, error) {
-	m := phys.DefaultMOSFET()
-	op := phys.OperatingPoint{T: phys.Kelvin(tempK), Vdd: phys.Nominal45.Vdd, Vth: phys.Nominal45.Vth}
-	if err := op.Valid(); err != nil {
+	pf := platform.Default()
+	op, err := pf.OpAt(tempK)
+	if err != nil {
 		return nil, err
 	}
-	meshT := noc.MeshTiming(op, m, 1)
-	busT := noc.BusTiming(op, m)
-	var mk func() noc.Network
-	switch design {
-	case "mesh":
-		mk = func() noc.Network { return noc.NewMesh(64, meshT) }
-	case "torus":
-		mk = func() noc.Network { return noc.NewTorus(64, meshT) }
-	case "ring":
-		mk = func() noc.Network { return noc.NewRing(64, meshT) }
-	case "cmesh":
-		mk = func() noc.Network { return noc.NewCMesh(64, meshT) }
-	case "fbfly":
-		mk = func() noc.Network { return noc.NewFlattenedButterfly(64, meshT) }
-	case "sharedbus":
-		mk = func() noc.Network { return noc.NewSharedBus77(64, busT) }
-	case "cryobus":
-		mk = func() noc.Network { return noc.NewCryoBus(64, busT) }
-	case "cryobus-2way":
-		mk = func() noc.Network {
-			return noc.NewInterleavedBus(2, func() *noc.Bus { return noc.NewCryoBus(64, busT) })
+	meshT := pf.MeshTiming(op, 1)
+	busT := pf.BusTiming(op)
+	// Probe the design name once so an unknown name fails before the
+	// sweep starts instead of on the first rate.
+	if _, err := noc.NewByName(design, 64, meshT, busT); err != nil {
+		return nil, err
+	}
+	mk := func() noc.Network {
+		n, err := noc.NewByName(design, 64, meshT, busT)
+		if err != nil {
+			// Unreachable: the probe above validated name and shape.
+			panic(fmt.Sprintf("cryowire: %v", err))
 		}
-	default:
-		return nil, fmt.Errorf("cryowire: unknown NoC design %q (have %v)", design, NoCDesignNames())
+		return n
 	}
 	pat, err := noc.PatternByName(pattern)
 	if err != nil {
@@ -215,5 +209,5 @@ func TemperatureSweep(tempsK []float64) ([]TempSweepPoint, error) {
 	for i, t := range tempsK {
 		temps[i] = power.Kelvin(t)
 	}
-	return power.NewModel().TemperatureSweep(temps)
+	return platform.Default().PowerModel().TemperatureSweep(temps)
 }

@@ -232,3 +232,74 @@ func TestFaultedSimulateDegrades(t *testing.T) {
 			degraded.DegradedBroadcastCycles, healthy.DegradedBroadcastCycles)
 	}
 }
+
+// TestWireClassesAllDocumented exercises WireSpeedupAt over every class
+// WireClassNames advertises — including the previously undocumented
+// "forwarding" in-core bypass wire — repeated and unrepeated, and the
+// unknown-class error path.
+func TestWireClassesAllDocumented(t *testing.T) {
+	classes := WireClassNames()
+	want := []string{"local", "semi-global", "global", "forwarding"}
+	if len(classes) != len(want) {
+		t.Fatalf("WireClassNames() = %v, want %v", classes, want)
+	}
+	for i, c := range want {
+		if classes[i] != c {
+			t.Fatalf("WireClassNames()[%d] = %q, want %q", i, classes[i], c)
+		}
+	}
+	for _, class := range classes {
+		for _, repeated := range []bool{false, true} {
+			v, err := WireSpeedupAt(class, 1.0, 77, repeated)
+			if err != nil {
+				t.Fatalf("WireSpeedupAt(%q, repeated=%v): %v", class, repeated, err)
+			}
+			if v <= 1 {
+				t.Errorf("WireSpeedupAt(%q, repeated=%v) = %v, want > 1 at 77K", class, repeated, v)
+			}
+		}
+	}
+	if _, err := WireSpeedupAt("optical", 1.0, 77, false); err == nil {
+		t.Error("WireSpeedupAt accepted an unknown class")
+	}
+}
+
+// TestNoCDesignNamesDriveLoadLatency confirms the advertised design
+// list and the sweep entry point share one factory: every listed name
+// sweeps successfully.
+func TestNoCDesignNamesDriveLoadLatency(t *testing.T) {
+	names := NoCDesignNames()
+	if len(names) != 8 {
+		t.Fatalf("NoCDesignNames() = %v, want 8 designs", names)
+	}
+	for _, name := range names {
+		pts, err := NoCLoadLatency(name, "uniform", 77, []float64{0.001})
+		if err != nil {
+			t.Fatalf("NoCLoadLatency(%q): %v", name, err)
+		}
+		if len(pts) != 1 || pts[0].AvgLatency <= 0 {
+			t.Fatalf("NoCLoadLatency(%q) = %+v, want one positive-latency point", name, pts)
+		}
+	}
+}
+
+// TestRunAllExperimentsOrdered checks the public RunAll wrapper returns
+// sorted-ID outcomes matching ExperimentIDs.
+func TestRunAllExperimentsOrdered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry skipped in -short mode")
+	}
+	ocs := RunAllExperiments(QuickOptions())
+	ids := ExperimentIDs()
+	if len(ocs) != len(ids) {
+		t.Fatalf("RunAllExperiments returned %d outcomes for %d IDs", len(ocs), len(ids))
+	}
+	for i, oc := range ocs {
+		if oc.ID != ids[i] {
+			t.Fatalf("outcome %d has ID %q, want %q", i, oc.ID, ids[i])
+		}
+		if oc.Err != nil {
+			t.Errorf("%s: %v", oc.ID, oc.Err)
+		}
+	}
+}

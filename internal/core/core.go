@@ -11,29 +11,36 @@ import (
 	"sort"
 
 	"cryowire/internal/noc"
+	"cryowire/internal/par"
 	"cryowire/internal/phys"
 	"cryowire/internal/pipeline"
+	"cryowire/internal/platform"
 	"cryowire/internal/power"
 	"cryowire/internal/sim"
 	"cryowire/internal/workload"
 )
 
-// CryoWire is the top-level model suite.
+// CryoWire is the top-level model suite. All its models are views onto
+// one shared Platform, so derivations memoize across the whole suite.
 type CryoWire struct {
+	Platform *platform.Platform
 	MOSFET   *phys.MOSFET
 	Pipeline *pipeline.Model
 	Power    *power.Model
 	Factory  *sim.Factory
 }
 
-// New builds the default calibrated model suite.
-func New() *CryoWire {
-	m := phys.DefaultMOSFET()
+// New builds the model suite on the process-wide default platform.
+func New() *CryoWire { return NewWith(platform.Default()) }
+
+// NewWith builds the model suite on an explicit platform.
+func NewWith(p *platform.Platform) *CryoWire {
 	return &CryoWire{
-		MOSFET:   m,
-		Pipeline: pipeline.NewModel(m),
-		Power:    power.NewModel(),
-		Factory:  sim.NewFactory(),
+		Platform: p,
+		MOSFET:   p.MOSFET(),
+		Pipeline: p.PipelineModel(),
+		Power:    p.PowerModel(),
+		Factory:  sim.NewFactoryWith(p),
 	}
 }
 
@@ -52,10 +59,10 @@ type CryoSPReport struct {
 // scaling, and report the resulting clocks.
 func (c *CryoWire) DeriveCryoSP() CryoSPReport {
 	r := CryoSPReport{
-		Baseline:  pipeline.Baseline300(c.Pipeline),
+		Baseline:  c.Platform.Baseline300(),
 		Superpipe: c.Pipeline.Superpipeline(pipeline.BOOM(), pipeline.At77()),
-		CryoSP:    pipeline.CryoSP(c.Pipeline),
-		CHPCore:   pipeline.CHPCore(c.Pipeline),
+		CryoSP:    c.Platform.CryoSP(),
+		CHPCore:   c.Platform.CHPCore(),
 	}
 	r.FreqGain300K = r.CryoSP.FreqGHz / r.Baseline.FreqGHz
 	r.FreqGainCHP = r.CryoSP.FreqGHz / r.CHPCore.FreqGHz
@@ -76,7 +83,7 @@ type CryoBusReport struct {
 // DesignCryoBus instantiates the 77 K CryoBus for the 64-core system
 // and reports its headline latencies.
 func (c *CryoWire) DesignCryoBus() CryoBusReport {
-	t := noc.BusTiming(noc.Op77(), c.MOSFET)
+	t := c.Platform.BusTiming(noc.Op77())
 	bus := noc.NewCryoBus(64, t)
 	_, _, _, bc := bus.Breakdown()
 	return CryoBusReport{
@@ -109,7 +116,10 @@ type Evaluation struct {
 
 // Evaluate runs every design × workload pair. ref selects the
 // normalization design index (the paper normalizes Fig 23 to
-// CHP-core(77K, Mesh), index 1).
+// CHP-core(77K, Mesh), index 1). With cfg.Workers > 1 the grid fans
+// out over a bounded worker pool; every cell seeds its own simulator
+// from cfg.Seed and lands by index, so the evaluation is identical at
+// any worker count.
 func (c *CryoWire) Evaluate(designs []sim.Design, profiles []workload.Profile, ref int, cfg sim.Config) (Evaluation, error) {
 	if ref < 0 || ref >= len(designs) {
 		return Evaluation{}, fmt.Errorf("core: reference index %d out of range", ref)
@@ -118,23 +128,37 @@ func (c *CryoWire) Evaluate(designs []sim.Design, profiles []workload.Profile, r
 	for _, d := range designs {
 		ev.Designs = append(ev.Designs, d.Name)
 	}
-	geo := make([]float64, len(designs))
 	for _, p := range profiles {
 		ev.Workloads = append(ev.Workloads, p.Name)
-		row := make([]float64, len(designs))
-		for di, d := range designs {
-			s, err := sim.New(d, p, cfg)
-			if err != nil {
-				return Evaluation{}, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return Evaluation{}, err
-			}
-			row[di] = res.Performance
-		}
-		ev.Perf = append(ev.Perf, row)
 	}
+	nd, nw := len(designs), len(profiles)
+	ev.Perf = make([][]float64, nw)
+	for wi := range ev.Perf {
+		ev.Perf[wi] = make([]float64, nd)
+	}
+	errs := make([]error, nw*nd)
+	par.For(nw*nd, cfg.Workers, func(i int) {
+		wi, di := i/nd, i%nd
+		s, err := sim.New(designs[di], profiles[wi], cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res, err := s.Run()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ev.Perf[wi][di] = res.Performance
+	})
+	// Report the first error in grid order — the same one the serial
+	// loop would have stopped on.
+	for _, err := range errs {
+		if err != nil {
+			return Evaluation{}, err
+		}
+	}
+	geo := make([]float64, nd)
 	for di := range designs {
 		prod := 1.0
 		for wi := range ev.Workloads {

@@ -5,6 +5,7 @@ import (
 
 	"cryowire/internal/branch"
 	"cryowire/internal/noc"
+	"cryowire/internal/par"
 	"cryowire/internal/phys"
 	"cryowire/internal/pipeline"
 	"cryowire/internal/sim"
@@ -23,14 +24,14 @@ func init() {
 // AblSuperpipeline ablates the temperature dependence of frontend
 // superpipelining: the methodology splits nothing at 300 K (the
 // backend forwarding stages bound the clock) and three stages at 77 K.
-func AblSuperpipeline(Options) (*Report, error) {
+func AblSuperpipeline(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "abl-superpipeline",
 		Title:  "Ablation: frontend superpipelining at 300K vs 77K",
 		Header: []string{"temperature", "stages split", "max path before", "max path after", "frequency gain"},
 		Notes:  []string{"300K Observation #2: further frontend pipelining is meaningless at 300K"},
 	}
-	md := pipeline.NewModel(phys.DefaultMOSFET())
+	md := opt.platform().PipelineModel()
 	for _, op := range []phys.OperatingPoint{phys.Nominal45, pipeline.At77()} {
 		before := pipeline.BOOM()
 		res := md.Superpipeline(before, op)
@@ -52,9 +53,9 @@ func AblTopology(opt Options) (*Report, error) {
 		Title:  "Ablation: bus topology × temperature",
 		Header: []string{"design", "broadcast (cycles)", "zero-load (cycles)", "saturation"},
 	}
-	m := phys.DefaultMOSFET()
-	b300 := noc.BusTiming(phys.Nominal45, m)
-	b77 := noc.BusTiming(noc.Op77(), m)
+	pf := opt.platform()
+	b300 := pf.BusTiming(phys.Nominal45)
+	b77 := pf.BusTiming(noc.Op77())
 	cfg := noc.SweepConfig{Pattern: noc.Uniform{}, Seed: 1}
 	if opt.Quick {
 		cfg.WarmupCycles, cfg.MeasureCycles = 600, 2000
@@ -70,12 +71,15 @@ func AblTopology(opt Options) (*Report, error) {
 		{"H-tree @300K (topology only)", func() *noc.Bus { return noc.NewHTreeBus300(64, b300) }},
 		{"H-tree @77K (CryoBus)", func() *noc.Bus { return noc.NewCryoBus(64, b77) }},
 	}
-	for _, c := range cases {
+	rows := make([][]string, len(cases))
+	par.For(len(cases), opt.Workers, func(i int) {
+		c := cases[i]
 		b := c.mk()
 		_, _, _, bc := b.Breakdown()
 		sat := noc.SaturationRate(func() noc.Network { return c.mk() }, cfg)
-		r.AddRow(c.name, f1(bc), f1(b.ZeroLoadLatency()), fmt.Sprintf("%.4f", sat))
-	}
+		rows[i] = []string{c.name, f1(bc), f1(b.ZeroLoadLatency()), fmt.Sprintf("%.4f", sat)}
+	})
+	r.Rows = rows
 	return r, nil
 }
 
@@ -89,8 +93,7 @@ func AblDynamicLinks(opt Options) (*Report, error) {
 		Header: []string{"variant", "avg data-transfer occupancy (cycles)", "saturation (mixed traffic)"},
 		Notes:  []string{"§5.2.3: dynamic links minimize activated links and avoid wasteful broadcasting for data responses"},
 	}
-	m := phys.DefaultMOSFET()
-	b77 := noc.BusTiming(noc.Op77(), m)
+	b77 := opt.platform().BusTiming(noc.Op77())
 	mk := func(dyn bool) func() *noc.Bus {
 		return func() *noc.Bus {
 			return noc.NewBus(noc.BusConfig{
@@ -106,7 +109,10 @@ func AblDynamicLinks(opt Options) (*Report, error) {
 		cfg.WarmupCycles, cfg.MeasureCycles = 1500, 5000
 	}
 	ht := noc.NewHTree(64)
-	for _, dyn := range []bool{false, true} {
+	variants := []bool{false, true}
+	rows := make([][]string, len(variants))
+	par.For(len(variants), opt.Workers, func(i int) {
+		dyn := variants[i]
 		name := "static (full broadcast)"
 		occ := float64(b77.WireCycles(ht.BroadcastHops()))
 		if dyn {
@@ -124,8 +130,9 @@ func AblDynamicLinks(opt Options) (*Report, error) {
 			occ = sum / float64(n)
 		}
 		sat := noc.SaturationRate(func() noc.Network { return mk(dyn)() }, cfg)
-		r.AddRow(name, f2(occ), fmt.Sprintf("%.4f", sat))
-	}
+		rows[i] = []string{name, f2(occ), fmt.Sprintf("%.4f", sat)}
+	})
+	r.Rows = rows
 	return r, nil
 }
 
@@ -139,7 +146,7 @@ func AblSnoopBenefit(opt Options) (*Report, error) {
 		Title:  "Ablation: streamcluster's CryoBus gain with and without barriers",
 		Header: []string{"variant", "CHP(77K,Mesh) perf", "CHP(77K,CryoBus) perf", "CryoBus gain"},
 	}
-	f := sim.NewFactory()
+	f := sim.NewFactoryWith(opt.platform())
 	p, err := workload.ByName("streamcluster")
 	if err != nil {
 		return nil, err
@@ -147,20 +154,32 @@ func AblSnoopBenefit(opt Options) (*Report, error) {
 	noBarriers := p
 	noBarriers.Name = "streamcluster (no barriers)"
 	noBarriers.BarriersPerMI = 0
-	for _, wl := range []workload.Profile{p, noBarriers} {
-		var perf [2]float64
-		for i, d := range []sim.Design{f.CHPMesh(), f.CHPCryoBus()} {
-			s, err := sim.New(d, wl, opt.Sim)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			perf[i] = res.Performance
+	workloads := []workload.Profile{p, noBarriers}
+	designs := []sim.Design{f.CHPMesh(), f.CHPCryoBus()}
+	perf := make([]float64, len(workloads)*len(designs))
+	errs := make([]error, len(perf))
+	par.For(len(perf), opt.Workers, func(i int) {
+		wl, d := workloads[i/len(designs)], designs[i%len(designs)]
+		s, err := sim.New(d, wl, opt.Sim)
+		if err != nil {
+			errs[i] = err
+			return
 		}
-		r.AddRow(wl.Name, f1(perf[0]), f1(perf[1]), f2(perf[1]/perf[0]))
+		res, err := s.Run()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		perf[i] = res.Performance
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for wi, wl := range workloads {
+		mesh, bus := perf[wi*2], perf[wi*2+1]
+		r.AddRow(wl.Name, f1(mesh), f1(bus), f2(bus/mesh))
 	}
 	return r, nil
 }
@@ -195,16 +214,17 @@ func AblInterleave(opt Options) (*Report, error) {
 		Header: []string{"ways", "saturation (pkts/node/cycle)"},
 		Notes:  []string{"§7.1: prior snooping buses shipped 2- to 8-way interleaving"},
 	}
-	m := phys.DefaultMOSFET()
-	b77 := noc.BusTiming(noc.Op77(), m)
+	b77 := opt.platform().BusTiming(noc.Op77())
 	cfg := noc.SweepConfig{Pattern: noc.Uniform{}, Seed: 1}
 	if opt.Quick {
 		cfg.WarmupCycles, cfg.MeasureCycles = 600, 2000
 	} else {
 		cfg.WarmupCycles, cfg.MeasureCycles = 1500, 5000
 	}
-	for _, ways := range []int{1, 2, 4} {
-		ways := ways
+	allWays := []int{1, 2, 4}
+	rows := make([][]string, len(allWays))
+	par.For(len(allWays), opt.Workers, func(i int) {
+		ways := allWays[i]
 		mk := func() noc.Network {
 			if ways == 1 {
 				return noc.NewCryoBus(64, b77)
@@ -212,7 +232,8 @@ func AblInterleave(opt Options) (*Report, error) {
 			return noc.NewInterleavedBus(ways, func() *noc.Bus { return noc.NewCryoBus(64, b77) })
 		}
 		sat := noc.SaturationRate(mk, cfg)
-		r.AddRow(fmt.Sprintf("%d", ways), fmt.Sprintf("%.4f", sat))
-	}
+		rows[i] = []string{fmt.Sprintf("%d", ways), fmt.Sprintf("%.4f", sat)}
+	})
+	r.Rows = rows
 	return r, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"cryowire/internal/noc"
+	"cryowire/internal/par"
 	"cryowire/internal/phys"
 )
 
@@ -27,7 +28,8 @@ func Fig22Activity(opt Options) (*Report, error) {
 			"paper: CryoBus 57.2%/40.5%/30.7% below 300K Mesh / 77K Mesh / 77K Shared bus",
 		},
 	}
-	m := phys.DefaultMOSFET()
+	pf := opt.platform()
+	m := pf.MOSFET()
 	type cfgCase struct {
 		name    string
 		mk      func() noc.Network
@@ -37,9 +39,9 @@ func Fig22Activity(opt Options) (*Report, error) {
 		bcast   bool
 		routers bool
 	}
-	mesh300 := noc.MeshTiming(phys.Nominal45, m, 1)
-	mesh77 := noc.MeshTiming(noc.Op77(), m, 1)
-	bus77 := noc.BusTiming(noc.Op77(), m)
+	mesh300 := pf.MeshTiming(phys.Nominal45, 1)
+	mesh77 := pf.MeshTiming(noc.Op77(), 1)
+	bus77 := pf.BusTiming(noc.Op77())
 	cases := []cfgCase{
 		{"300K Mesh", func() noc.Network { return noc.NewMesh(64, mesh300) }, 1.0, 1.0, phys.T300, false, true},
 		{"77K Mesh", func() noc.Network { return noc.NewMesh(64, mesh77) }, 0.55, 1.36, phys.T77, false, true},
@@ -65,8 +67,12 @@ func Fig22Activity(opt Options) (*Report, error) {
 		static      float64
 		temp        phys.Kelvin
 	}
-	var ms []measured
-	for _, c := range cases {
+	// Each case drives its own network with its own fixed-seed rng, so
+	// the measurements fan out over opt.Workers without changing them.
+	ms := make([]measured, len(cases))
+	errs := make([]error, len(cases))
+	par.For(len(cases), opt.Workers, func(ci int) {
+		c := cases[ci]
 		n := c.mk()
 		rng := rand.New(rand.NewSource(9))
 		var id int64
@@ -86,7 +92,8 @@ func Fig22Activity(opt Options) (*Report, error) {
 		}
 		em, ok := n.(noc.EnergyMeter)
 		if !ok {
-			return nil, fmt.Errorf("fig22-activity: %s has no energy meter", c.name)
+			errs[ci] = fmt.Errorf("fig22-activity: %s has no energy meter", c.name)
+			return
 		}
 		e := em.Energy()
 		pkts := float64(n.Stats().Delivered - delivered0)
@@ -102,14 +109,19 @@ func Fig22Activity(opt Options) (*Report, error) {
 		}
 		relLeak := m.LeakageFactor(leakOp) / m.LeakageFactor(phys.OperatingPoint{T: phys.T300, Vdd: 1.0, Vth: 0.468})
 		stat := staticShare * c.vdd * relLeak
-		ms = append(ms, measured{
+		ms[ci] = measured{
 			name:        c.name,
 			wirePerPkt:  e.WireMMFlits / pkts,
 			eventPerPkt: events / pkts,
 			dynRaw:      dyn,
 			static:      stat,
 			temp:        c.temp,
-		})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	// Normalize the activity units so the 300 K mesh lands on the
 	// leakage-dominated 16/84 dynamic/static split the paper implies.

@@ -6,21 +6,24 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
+	"cryowire/internal/par"
+	"cryowire/internal/platform"
 	"cryowire/internal/sim"
 )
 
 // Report is one reproduced table or figure.
 type Report struct {
-	ID    string // "fig5", "table3", ...
-	Title string
+	ID    string `json:"id"` // "fig5", "table3", ...
+	Title string `json:"title"`
 	// Notes carry the paper's anchor values and any known deviation.
-	Notes  []string
-	Header []string
-	Rows   [][]string
+	Notes  []string   `json:"notes,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a formatted row.
@@ -69,11 +72,46 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
+// JSON returns the report as stable, indented JSON: field order follows
+// the struct, rows keep insertion order, so equal reports encode to
+// byte-identical documents.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
 // Options tunes the simulation-backed experiments.
 type Options struct {
 	Sim sim.Config
 	// Quick shrinks sweeps for tests and benchmarks.
 	Quick bool
+	// Platform supplies the shared derivation cache every experiment
+	// draws its physics from; nil uses the process-wide default. RunAll
+	// and parallel sweeps only pay each derivation once because all
+	// runners share this one platform.
+	Platform *platform.Platform
+	// Workers bounds the fan-out of RunAll and of each experiment's
+	// internal design×workload×rate sweeps; 0 or 1 runs everything
+	// serially. Every task derives its seed from Sim.Seed and its own
+	// grid position, so reports are byte-identical at any worker count.
+	Workers int
+}
+
+// platform returns the options' platform, defaulting to the shared one.
+func (o Options) platform() *platform.Platform {
+	if o.Platform != nil {
+		return o.Platform
+	}
+	return platform.Default()
+}
+
+// simCfg returns the simulation config with the experiment-level worker
+// bound threaded through (an explicit Sim.Workers wins).
+func (o Options) simCfg() sim.Config {
+	cfg := o.Sim
+	if cfg.Workers == 0 {
+		cfg.Workers = o.Workers
+	}
+	return cfg
 }
 
 // DefaultOptions returns CLI-grade run lengths.
@@ -120,6 +158,29 @@ func Run(id string, opt Options) (rep *Report, err error) {
 		}
 	}()
 	return r(opt)
+}
+
+// Outcome is one RunAll result.
+type Outcome struct {
+	ID     string
+	Report *Report
+	Err    error
+}
+
+// RunAll executes every registered experiment and returns the outcomes
+// in sorted-ID order. With opt.Workers > 1 the experiments fan out over
+// a bounded pool sharing the options' platform; because each outcome
+// lands at its ID's index and every runner seeds from its own grid
+// position, the outcomes — and their rendered reports — are
+// byte-identical to a serial run.
+func RunAll(opt Options) []Outcome {
+	ids := IDs()
+	out := make([]Outcome, len(ids))
+	par.For(len(ids), opt.Workers, func(i int) {
+		rep, err := Run(ids[i], opt)
+		out[i] = Outcome{ID: ids[i], Report: rep, Err: err}
+	})
+	return out
 }
 
 // f2 formats a float with 2 decimals; f3 with 3.

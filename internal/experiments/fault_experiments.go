@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cryowire/internal/fault"
+	"cryowire/internal/par"
 	"cryowire/internal/sim"
 	"cryowire/internal/workload"
 )
@@ -36,28 +37,45 @@ func FaultSweep(opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range evaluationDesigns() {
-		healthy := 0.0
-		for _, rate := range rates {
-			cfg := opt.Sim
-			if rate > 0 {
-				cfg.Fault = &fault.Config{
-					Seed:               cfg.Seed + 7,
-					LinkFailureRate:    rate,
-					FlitCorruptionRate: rate / 2,
-				}
+	designs := evaluationDesigns(opt)
+	// The design×rate grid fans out over opt.Workers; each cell builds
+	// its own simulator from the same seeds, so the rows match a serial
+	// sweep exactly. The rel. IPC column needs each design's rate-0
+	// result, so rows are assembled after the grid completes.
+	nr := len(rates)
+	results := make([]sim.Result, len(designs)*nr)
+	errs := make([]error, len(results))
+	par.For(len(results), opt.Workers, func(i int) {
+		d, rate := designs[i/nr], rates[i%nr]
+		cfg := opt.Sim
+		if rate > 0 {
+			cfg.Fault = &fault.Config{
+				Seed:               cfg.Seed + 7,
+				LinkFailureRate:    rate,
+				FlitCorruptionRate: rate / 2,
 			}
-			s, err := sim.New(d, p, cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("faultsweep: %s at rate %v: %w", d.Name, rate, err)
-			}
-			if rate == 0 {
-				healthy = res.IPC
-			}
+		}
+		s, err := sim.New(d, p, cfg)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res, err := s.Run()
+		if err != nil {
+			errs[i] = fmt.Errorf("faultsweep: %s at rate %v: %w", d.Name, rate, err)
+			return
+		}
+		results[i] = res
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for di, d := range designs {
+		healthy := results[di*nr].IPC
+		for ri, rate := range rates {
+			res := results[di*nr+ri]
 			r.AddRow(d.Name, pct(rate), f3(res.IPC), f3(res.IPC/healthy),
 				f2(res.DegradedBroadcastCycles), f2(res.AvgNoCLatency),
 				fmt.Sprintf("%d", res.Retransmits))

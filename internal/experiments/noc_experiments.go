@@ -5,7 +5,9 @@ import (
 
 	"cryowire/internal/mem"
 	"cryowire/internal/noc"
+	"cryowire/internal/par"
 	"cryowire/internal/phys"
+	"cryowire/internal/platform"
 	"cryowire/internal/workload"
 )
 
@@ -26,12 +28,13 @@ type nocUnderTest struct {
 }
 
 // figNoCs builds the Fig 15/21 design list at 77 K with the given
-// router pipeline depth variants.
-func figNoCs(m *phys.MOSFET) []nocUnderTest {
+// router pipeline depth variants, all clocked off the shared platform's
+// memoized timings.
+func figNoCs(pf *platform.Platform) []nocUnderTest {
 	op := noc.Op77()
-	mesh1 := noc.MeshTiming(op, m, 1)
-	mesh3 := noc.MeshTiming(op, m, 3)
-	bus := noc.BusTiming(op, m)
+	mesh1 := pf.MeshTiming(op, 1)
+	mesh3 := pf.MeshTiming(op, 3)
+	bus := pf.BusTiming(op)
 	return []nocUnderTest{
 		{"Mesh (1-cycle)", func() noc.Network { return noc.NewMesh(64, mesh1) }},
 		{"Mesh (3-cycle)", func() noc.Network { return noc.NewMesh(64, mesh3) }},
@@ -50,7 +53,7 @@ func figNoCs(m *phys.MOSFET) []nocUnderTest {
 // Fig16 reproduces the L3 hit/miss latency breakdown across NoCs and
 // temperatures: NoC round trip (request + response at zero load) plus
 // cache and DRAM service.
-func Fig16(Options) (*Report, error) {
+func Fig16(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "fig16",
 		Title:  "L3 hit and miss latency breakdown (ns) for NoC designs at 300K and 77K",
@@ -60,16 +63,16 @@ func Fig16(Options) (*Report, error) {
 			"paper: the 77K Shared bus nearly reaches the zero-NoC-latency line",
 		},
 	}
-	m := phys.DefaultMOSFET()
+	pf := opt.platform()
 	type cfg struct {
 		name string
 		mk   func() noc.Network
 		temp phys.Kelvin
 	}
-	mesh300 := noc.MeshTiming(phys.Nominal45, m, 1)
-	mesh77 := noc.MeshTiming(noc.Op77(), m, 1)
-	bus300 := noc.BusTiming(phys.Nominal45, m)
-	bus77 := noc.BusTiming(noc.Op77(), m)
+	mesh300 := pf.MeshTiming(phys.Nominal45, 1)
+	mesh77 := pf.MeshTiming(noc.Op77(), 1)
+	bus300 := pf.BusTiming(phys.Nominal45)
+	bus77 := pf.BusTiming(noc.Op77())
 	cases := []cfg{
 		{"300K Mesh", func() noc.Network { return noc.NewMesh(64, mesh300) }, phys.T300},
 		{"300K FB", func() noc.Network { return noc.NewFlattenedButterfly(64, mesh300) }, phys.T300},
@@ -107,21 +110,21 @@ func Fig18(opt Options) (*Report, error) {
 		Header: []string{"injection rate", "300K bus latency", "77K bus latency"},
 		Notes:  []string{"paper: the 300K bus cannot run PARSEC; the 77K bus covers PARSEC but not SPEC/CloudSuite"},
 	}
-	m := phys.DefaultMOSFET()
+	pf := opt.platform()
 	rates := []float64{0.0005, 0.001, 0.002, 0.003, 0.0045, 0.006, 0.009, 0.013}
 	if opt.Quick {
 		rates = []float64{0.001, 0.003, 0.006}
 	}
-	cfg := noc.SweepConfig{Pattern: noc.Uniform{}, Seed: 1}
+	cfg := noc.SweepConfig{Pattern: noc.Uniform{}, Seed: 1, Workers: opt.Workers}
 	if opt.Quick {
 		cfg.WarmupCycles, cfg.MeasureCycles = 800, 2500
 	}
 	cfg.Rates = rates
 	p300 := noc.LoadLatency(func() noc.Network {
-		return noc.NewSharedBus300(64, noc.BusTiming(phys.Nominal45, m))
+		return noc.NewSharedBus300(64, pf.BusTiming(phys.Nominal45))
 	}, cfg)
 	p77 := noc.LoadLatency(func() noc.Network {
-		return noc.NewSharedBus77(64, noc.BusTiming(noc.Op77(), m))
+		return noc.NewSharedBus77(64, pf.BusTiming(noc.Op77()))
 	}, cfg)
 	get := func(pts []noc.SweepPoint, rate float64) string {
 		for _, p := range pts {
@@ -146,7 +149,7 @@ func Fig18(opt Options) (*Report, error) {
 
 // Fig20 reproduces the broadcast-latency decomposition of the four bus
 // designs.
-func Fig20(Options) (*Report, error) {
+func Fig20(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "fig20",
 		Title:  "Latency breakdown (cycles) for the bus designs",
@@ -155,9 +158,9 @@ func Fig20(Options) (*Report, error) {
 			"paper: CryoBus reaches the 1-cycle broadcast; neither 77K cooling nor the H-tree alone suffices",
 		},
 	}
-	m := phys.DefaultMOSFET()
-	b300 := noc.BusTiming(phys.Nominal45, m)
-	b77 := noc.BusTiming(noc.Op77(), m)
+	pf := opt.platform()
+	b300 := pf.BusTiming(phys.Nominal45)
+	b77 := pf.BusTiming(noc.Op77())
 	buses := []*noc.Bus{
 		noc.NewSharedBus300(64, b300),
 		noc.NewSharedBus77(64, b77),
@@ -171,7 +174,9 @@ func Fig20(Options) (*Report, error) {
 	return r, nil
 }
 
-// loadLatencyReport sweeps a NoC list under one traffic pattern.
+// loadLatencyReport sweeps a NoC list under one traffic pattern. The
+// per-design saturation searches fan out over opt.Workers; rows land by
+// design index, so the report is identical at any worker count.
 func loadLatencyReport(id, title string, nets []nocUnderTest, pattern noc.Pattern, opt Options, notes ...string) (*Report, error) {
 	r := &Report{
 		ID:     id,
@@ -185,19 +190,21 @@ func loadLatencyReport(id, title string, nets []nocUnderTest, pattern noc.Patter
 	} else {
 		cfg.WarmupCycles, cfg.MeasureCycles = 1500, 5000
 	}
-	for _, n := range nets {
+	rows := make([][]string, len(nets))
+	par.For(len(nets), opt.Workers, func(i int) {
+		n := nets[i]
 		zero := n.mk().ZeroLoadLatency()
 		sat := noc.SaturationRate(n.mk, cfg)
-		r.AddRow(n.name, f1(zero), fmt.Sprintf("%.4f", sat))
-	}
+		rows[i] = []string{n.name, f1(zero), fmt.Sprintf("%.4f", sat)}
+	})
+	r.Rows = rows
 	return r, nil
 }
 
 // Fig21 reproduces the uniform-random load-latency comparison of all
 // NoCs at 77 K.
 func Fig21(opt Options) (*Report, error) {
-	m := phys.DefaultMOSFET()
-	nets := figNoCs(m)
+	nets := figNoCs(opt.platform())
 	if opt.Quick {
 		nets = []nocUnderTest{nets[0], nets[6], nets[7]}
 	}
@@ -210,7 +217,6 @@ func Fig21(opt Options) (*Report, error) {
 
 // Fig25 reproduces the other traffic patterns.
 func Fig25(opt Options) (*Report, error) {
-	m := phys.DefaultMOSFET()
 	r := &Report{
 		ID:     "fig25",
 		Title:  "Load-latency across traffic patterns at 77K",
@@ -221,35 +227,38 @@ func Fig25(opt Options) (*Report, error) {
 	if opt.Quick {
 		patterns = patterns[:1]
 	}
-	nets := figNoCs(m)
+	nets := figNoCs(opt.platform())
 	picks := []int{0, 4, 6, 7, 8} // Mesh1c, FB1c, shared bus, CryoBus, 2-way
 	if opt.Quick {
 		picks = []int{0, 7}
 	}
-	cfg := noc.SweepConfig{Seed: 1}
+	base := noc.SweepConfig{Seed: 1}
 	if opt.Quick {
-		cfg.WarmupCycles, cfg.MeasureCycles = 600, 2000
+		base.WarmupCycles, base.MeasureCycles = 600, 2000
 	} else {
-		cfg.WarmupCycles, cfg.MeasureCycles = 1500, 5000
+		base.WarmupCycles, base.MeasureCycles = 1500, 5000
 	}
-	for _, pat := range patterns {
+	// Flatten the pattern×design grid so the whole figure fans out.
+	rows := make([][]string, len(patterns)*len(picks))
+	par.For(len(rows), opt.Workers, func(i int) {
+		pat := patterns[i/len(picks)]
+		n := nets[picks[i%len(picks)]]
+		cfg := base
 		cfg.Pattern = pat
-		for _, pi := range picks {
-			n := nets[pi]
-			zero := n.mk().ZeroLoadLatency()
-			sat := noc.SaturationRate(n.mk, cfg)
-			r.AddRow(pat.Name(), n.name, f1(zero), fmt.Sprintf("%.4f", sat))
-		}
-	}
+		zero := n.mk().ZeroLoadLatency()
+		sat := noc.SaturationRate(n.mk, cfg)
+		rows[i] = []string{pat.Name(), n.name, f1(zero), fmt.Sprintf("%.4f", sat)}
+	})
+	r.Rows = rows
 	return r, nil
 }
 
 // Fig26 reproduces the 256-core hybrid CryoBus scalability study.
 func Fig26(opt Options) (*Report, error) {
-	m := phys.DefaultMOSFET()
+	pf := opt.platform()
 	op := noc.Op77()
-	mesh1 := noc.MeshTiming(op, m, 1)
-	bus := noc.BusTiming(op, m)
+	mesh1 := pf.MeshTiming(op, 1)
+	bus := pf.BusTiming(op)
 	nets := []nocUnderTest{
 		{"Mesh-256 (1-cycle)", func() noc.Network { return noc.NewMesh(256, mesh1) }},
 		{"CMesh-256 (1-cycle)", func() noc.Network { return noc.NewCMesh(256, mesh1) }},

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"cryowire/internal/core"
-	"cryowire/internal/phys"
+	"cryowire/internal/par"
 	"cryowire/internal/pipeline"
 	"cryowire/internal/power"
 	"cryowire/internal/sim"
@@ -39,7 +39,8 @@ func parsecSubset(opt Options) []workload.Profile {
 }
 
 // Fig3 reproduces the normalized CPI stacks of PARSEC on the 300 K
-// baseline system.
+// baseline system. The per-workload simulations fan out over
+// opt.Workers; each lands at its profile index.
 func Fig3(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "fig3",
@@ -50,29 +51,43 @@ func Fig3(opt Options) (*Report, error) {
 			"network-bound = noc + sync (barrier time is coherence-message time)",
 		},
 	}
-	f := sim.NewFactory()
+	f := sim.NewFactoryWith(opt.platform())
 	d := f.Baseline300()
-	var sum, max float64
 	profiles := parsecSubset(opt)
-	for _, p := range profiles {
+	rows := make([][]string, len(profiles))
+	shares := make([]float64, len(profiles))
+	errs := make([]error, len(profiles))
+	par.For(len(profiles), opt.Workers, func(i int) {
+		p := profiles[i]
 		s, err := sim.New(d, p, opt.Sim)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		res, err := s.Run()
 		if err != nil {
+			errs[i] = err
+			return
+		}
+		shares[i] = res.NoCShare()
+		rows[i] = []string{p.Name,
+			pct(res.Stack[sim.BucketBase]), pct(res.Stack[sim.BucketNoC]),
+			pct(res.Stack[sim.BucketL3]), pct(res.Stack[sim.BucketDRAM]),
+			pct(res.Stack[sim.BucketSync]), pct(shares[i])}
+	})
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		share := res.NoCShare()
+	}
+	var sum, max float64
+	for _, share := range shares {
 		sum += share
 		if share > max {
 			max = share
 		}
-		r.AddRow(p.Name,
-			pct(res.Stack[sim.BucketBase]), pct(res.Stack[sim.BucketNoC]),
-			pct(res.Stack[sim.BucketL3]), pct(res.Stack[sim.BucketDRAM]),
-			pct(res.Stack[sim.BucketSync]), pct(share))
 	}
+	r.Rows = rows
 	r.AddRow("average", "", "", "", "", "", pct(sum/float64(len(profiles))))
 	r.AddRow("max", "", "", "", "", "", pct(max))
 	return r, nil
@@ -86,24 +101,36 @@ func Fig17(opt Options) (*Report, error) {
 		Header: []string{"workload", "mesh/ideal", "shared-bus/ideal"},
 		Notes:  []string{"paper: mesh loses 43.3% vs ideal; the shared bus only 8.1%"},
 	}
-	f := sim.NewFactory()
-	var meshSum, busSum float64
+	f := sim.NewFactoryWith(opt.platform())
+	designs := []sim.Design{f.IdealNoC77(), f.CHPMesh(), f.SharedBus77()}
 	profiles := parsecSubset(opt)
-	for _, p := range profiles {
-		perf := make([]float64, 3)
-		for i, d := range []sim.Design{f.IdealNoC77(), f.CHPMesh(), f.SharedBus77()} {
-			s, err := sim.New(d, p, opt.Sim)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			perf[i] = res.Performance
+	// Flatten the profile×design grid so every simulation fans out.
+	perf := make([]float64, len(profiles)*len(designs))
+	errs := make([]error, len(perf))
+	par.For(len(perf), opt.Workers, func(i int) {
+		p, d := profiles[i/len(designs)], designs[i%len(designs)]
+		s, err := sim.New(d, p, opt.Sim)
+		if err != nil {
+			errs[i] = err
+			return
 		}
-		mesh := perf[1] / perf[0]
-		bus := perf[2] / perf[0]
+		res, err := s.Run()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		perf[i] = res.Performance
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var meshSum, busSum float64
+	for pi, p := range profiles {
+		base := pi * len(designs)
+		mesh := perf[base+1] / perf[base]
+		bus := perf[base+2] / perf[base]
 		meshSum += mesh
 		busSum += bus
 		r.AddRow(p.Name, f3(mesh), f3(bus))
@@ -114,7 +141,7 @@ func Fig17(opt Options) (*Report, error) {
 }
 
 // Fig22 reproduces the NoC power comparison.
-func Fig22(Options) (*Report, error) {
+func Fig22(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "fig22",
 		Title:  "NoC power with voltage optimization and cooling (normalized to 300K Mesh)",
@@ -123,16 +150,17 @@ func Fig22(Options) (*Report, error) {
 			"paper: CryoBus uses 57.2% less than 300K Mesh, 40.5% less than 77K Mesh, 30.7% less than 77K Shared bus",
 		},
 	}
-	m := power.NewModel()
+	m := opt.platform().PowerModel()
 	for _, k := range []power.NoCKind{power.Mesh300, power.Mesh77, power.SharedBus77, power.CryoBus77} {
 		r.AddRow(k.String(), f3(m.NoCPower(k)), f3(m.NoCTotalPower(k)))
 	}
 	return r, nil
 }
 
-// evaluationDesigns returns the five Table 4 systems.
-func evaluationDesigns() []sim.Design {
-	return sim.NewFactory().Evaluation()
+// evaluationDesigns returns the five Table 4 systems built on the
+// options' platform.
+func evaluationDesigns(opt Options) []sim.Design {
+	return sim.NewFactoryWith(opt.platform()).Evaluation()
 }
 
 // Fig23 reproduces the headline multi-thread comparison.
@@ -147,8 +175,8 @@ func Fig23(opt Options) (*Report, error) {
 			"this model: lower average magnitude, same ordering and same outliers (see EXPERIMENTS.md)",
 		},
 	}
-	c := core.New()
-	ev, err := c.Evaluate(evaluationDesigns(), parsecSubset(opt), 1, opt.Sim)
+	c := core.NewWith(opt.platform())
+	ev, err := c.Evaluate(evaluationDesigns(opt), parsecSubset(opt), 1, opt.simCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +211,7 @@ func Fig24(opt Options) (*Report, error) {
 			"paper: CryoBus 2.11x vs 300K mesh, +37.2% vs CHP mesh; 2-way interleaving removes the contention cases",
 		},
 	}
-	f := sim.NewFactory()
+	f := sim.NewFactoryWith(opt.platform())
 	designs := []sim.Design{
 		sim.WithPrefetcher(f.Baseline300()),
 		sim.WithPrefetcher(f.CHPMesh()),
@@ -194,8 +222,8 @@ func Fig24(opt Options) (*Report, error) {
 	if opt.Quick {
 		profiles = profiles[:3]
 	}
-	c := core.New()
-	ev, err := c.Evaluate(designs, profiles, 1, opt.Sim)
+	c := core.NewWith(opt.platform())
+	ev, err := c.Evaluate(designs, profiles, 1, opt.simCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -215,14 +243,14 @@ func Fig24(opt Options) (*Report, error) {
 }
 
 // Fig27 reproduces the temperature sweep.
-func Fig27(Options) (*Report, error) {
+func Fig27(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "fig27",
 		Title:  "Performance, power and cooling overhead across temperatures",
 		Header: []string{"T (K)", "freq (GHz)", "Vdd (V)", "CO(T)", "rel. perf", "rel. power", "perf/power"},
 		Notes:  []string{"paper: 100K beats 77K on perf/power — cooling overhead grows faster than performance"},
 	}
-	m := power.NewModel()
+	m := opt.platform().PowerModel()
 	pts, err := m.TemperatureSweep([]power.Kelvin{300, 250, 200, 150, 125, 100, 90, 77})
 	if err != nil {
 		return nil, err
@@ -246,13 +274,13 @@ func Table3(opt Options) (*Report, error) {
 			"IPC@4GHz measured by the full-system simulator on a PARSEC mix",
 		},
 	}
-	pm := pipeline.NewModel(phys.DefaultMOSFET())
+	pf := opt.platform()
 	cores := []pipeline.CoreSpec{
-		pipeline.Baseline300(pm),
-		pipeline.Superpipeline77(pm),
-		pipeline.SuperpipelineCryoCore77(pm),
-		pipeline.CryoSP(pm),
-		pipeline.CHPCore(pm),
+		pf.Baseline300(),
+		pf.Superpipeline77(),
+		pf.SuperpipelineCryoCore77(),
+		pf.CryoSP(),
+		pf.CHPCore(),
 	}
 	row := func(name string, get func(c pipeline.CoreSpec) string) {
 		cells := []string{name}
@@ -272,7 +300,7 @@ func Table3(opt Options) (*Report, error) {
 	row("fp registers", func(c pipeline.CoreSpec) string { return fmt.Sprintf("%d", c.FpRegs) })
 	row("Vdd (V)", func(c pipeline.CoreSpec) string { return f2(float64(c.Op.Vdd)) })
 	row("Vth (V)", func(c pipeline.CoreSpec) string { return f2(float64(c.Op.Vth)) })
-	pw := power.NewModel()
+	pw := pf.PowerModel()
 	row("core power (rel.)", func(c pipeline.CoreSpec) string { return f3(pw.CorePower(c)) })
 	row("total power (rel.)", func(c pipeline.CoreSpec) string { return f2(pw.CoreTotalPower(c)) })
 	// IPC at a common 4 GHz clock from the simulator.
@@ -290,9 +318,10 @@ func Table3(opt Options) (*Report, error) {
 
 // table3IPC measures each core's IPC at a forced common 4 GHz clock on
 // the 77 K memory system (isolating the microarchitectural IPC effects
-// of depth and sizing, as the paper's footnote describes).
+// of depth and sizing, as the paper's footnote describes). The
+// core×workload grid fans out over opt.Workers.
 func table3IPC(cores []pipeline.CoreSpec, opt Options) ([]float64, error) {
-	f := sim.NewFactory()
+	f := sim.NewFactoryWith(opt.platform())
 	profiles := parsecSubset(opt)
 	if !opt.Quick {
 		// A representative mix keeps the full table affordable.
@@ -304,25 +333,40 @@ func table3IPC(cores []pipeline.CoreSpec, opt Options) ([]float64, error) {
 			}
 		}
 	}
-	out := make([]float64, len(cores))
-	for ci, c := range cores {
+	np := len(profiles)
+	ipc := make([]float64, len(cores)*np)
+	errs := make([]error, len(ipc))
+	par.For(len(ipc), opt.Workers, func(i int) {
+		c := cores[i/np]
+		p := profiles[i%np]
 		d := f.CHPMesh()
 		c.FreqGHz = 4.0
 		d.Core = c
 		d.Name = c.Name + "@4GHz"
-		sum := 0.0
-		for _, p := range profiles {
-			s, err := sim.New(d, p, opt.Sim)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return nil, err
-			}
-			sum += res.IPC
+		s, err := sim.New(d, p, opt.Sim)
+		if err != nil {
+			errs[i] = err
+			return
 		}
-		out[ci] = sum / float64(len(profiles))
+		res, err := s.Run()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ipc[i] = res.IPC
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, len(cores))
+	for ci := range cores {
+		sum := 0.0
+		for pi := 0; pi < np; pi++ {
+			sum += ipc[ci*np+pi]
+		}
+		out[ci] = sum / float64(np)
 	}
 	// Normalize to the baseline column as the paper does.
 	base := out[0]
@@ -333,13 +377,13 @@ func table3IPC(cores []pipeline.CoreSpec, opt Options) ([]float64, error) {
 }
 
 // Table4 renders the evaluation setup.
-func Table4(Options) (*Report, error) {
+func Table4(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "table4",
 		Title:  "Evaluation setup",
 		Header: []string{"design", "core", "freq (GHz)", "cores", "NoC", "protocol", "memory"},
 	}
-	for _, d := range evaluationDesigns() {
+	for _, d := range evaluationDesigns(opt) {
 		proto := "directory"
 		if d.Net.Snooping() {
 			proto = "snooping"

@@ -59,22 +59,18 @@ func Fig5(opt Options) (*Report, error) {
 			"paper anchors: (b) 0.9mm semi-global 2.25x, 6.22mm global 3.38x",
 		},
 	}
-	m := phys.DefaultMOSFET()
+	pf := opt.platform()
 	op := wire.At77()
 	lengths := []float64{0.1, 0.3, 0.9, 2, 4, 6.22, 10}
 	if opt.Quick {
 		lengths = []float64{0.9, 6.22}
 	}
 	for _, l := range lengths {
-		local := wire.NewLine(wire.Local, l, 1+l*10)
-		semi := wire.NewLine(wire.SemiGlobal, l, 1+l*10)
-		semiRep := wire.NewLine(wire.SemiGlobal, l, 1)
-		globalRep := wire.NewLine(wire.Global, l, 1)
 		r.AddRow(f2(l),
-			f2(wire.Speedup(local, op, m, false)),
-			f2(wire.Speedup(semi, op, m, false)),
-			f2(wire.Speedup(semiRep, op, m, true)),
-			f2(wire.Speedup(globalRep, op, m, true)),
+			f2(pf.WireSpeedup(wire.Local, l, 1+l*10, op, false)),
+			f2(pf.WireSpeedup(wire.SemiGlobal, l, 1+l*10, op, false)),
+			f2(pf.WireSpeedup(wire.SemiGlobal, l, 1, op, true)),
+			f2(pf.WireSpeedup(wire.Global, l, 1, op, true)),
 		)
 	}
 	return r, nil
@@ -96,7 +92,7 @@ var fig9Measured = []struct {
 }
 
 // Fig9 reproduces the pipeline/router model validation at 135 K.
-func Fig9(Options) (*Report, error) {
+func Fig9(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "fig9",
 		Title:  "Pipeline and router model validation at 135K",
@@ -106,9 +102,10 @@ func Fig9(Options) (*Report, error) {
 			"measured column reproduces the paper's published board results",
 		},
 	}
-	m := phys.DefaultMOSFET()
-	md := pipeline.NewModel(m)
-	op := phys.OperatingPoint{T: phys.T135, Vdd: phys.Nominal45.Vdd, Vth: phys.Nominal45.Vth}
+	pf := opt.platform()
+	m := pf.MOSFET()
+	md := pf.PipelineModel()
+	op := pf.NominalOp(phys.T135)
 	pipeModel := md.MaxFrequencyGHz(pipeline.BOOM(), op) / md.MaxFrequencyGHz(pipeline.BOOM(), phys.Nominal45)
 	routerModel := noc.RouterSpeedup(op, m)
 	for _, c := range fig9Measured {
@@ -124,14 +121,14 @@ func Fig9(Options) (*Report, error) {
 
 // Fig10 validates the wire-link model against the transient circuit
 // solver at the 6 mm CryoBus link length.
-func Fig10(Options) (*Report, error) {
+func Fig10(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "fig10",
 		Title:  "6mm wire-link model vs transient (Hspice-lite) simulation at 77K",
 		Header: []string{"quantity", "link model", "transient sim", "error"},
 		Notes:  []string{"paper: model speed-up 3.05x, 1.6% error vs Hspice"},
 	}
-	m := phys.DefaultMOSFET()
+	m := opt.platform().MOSFET()
 	lk := wire.CryoBusLink()
 	op := wire.At77()
 	model := lk.LinkSpeedup(op, m)
@@ -144,15 +141,15 @@ func Fig10(Options) (*Report, error) {
 	return r, nil
 }
 
-// stageTable renders per-stage critical paths at an operating point.
-func stageTable(id, title string, p pipeline.Pipeline, op phys.OperatingPoint, notes ...string) *Report {
+// stageTable renders per-stage critical paths at an operating point
+// using the shared platform's pipeline model.
+func stageTable(md *pipeline.Model, id, title string, p pipeline.Pipeline, op phys.OperatingPoint, notes ...string) *Report {
 	r := &Report{
 		ID:     id,
 		Title:  title,
 		Header: []string{"stage", "frontend", "delay (norm.)", "wire portion @300K"},
 		Notes:  notes,
 	}
-	md := pipeline.NewModel(phys.DefaultMOSFET())
 	worst, max := md.CriticalPath(p, op)
 	for _, s := range p.Stages {
 		fe := ""
@@ -166,24 +163,26 @@ func stageTable(id, title string, p pipeline.Pipeline, op phys.OperatingPoint, n
 }
 
 // Fig12 reproduces the 300 K stage-wise critical paths.
-func Fig12(Options) (*Report, error) {
-	return stageTable("fig12", "Stage-wise critical path at 300K (normalized)",
+func Fig12(opt Options) (*Report, error) {
+	return stageTable(opt.platform().PipelineModel(),
+		"fig12", "Stage-wise critical path at 300K (normalized)",
 		pipeline.BOOM(), phys.Nominal45,
 		"paper: execute bypass is the 300K bottleneck (backend forwarding stages)"), nil
 }
 
 // Fig13 reproduces the 77 K stage-wise critical paths.
-func Fig13(Options) (*Report, error) {
-	return stageTable("fig13", "Stage-wise critical path at 77K (normalized to 300K max)",
+func Fig13(opt Options) (*Report, error) {
+	return stageTable(opt.platform().PipelineModel(),
+		"fig13", "Stage-wise critical path at 77K (normalized to 300K max)",
 		pipeline.BOOM(), pipeline.At77(),
 		"paper: the bottleneck moves to the frontend; max path falls only ~19%"), nil
 }
 
 // Fig14 reproduces the superpipelined 77 K critical paths.
-func Fig14(Options) (*Report, error) {
-	md := pipeline.NewModel(phys.DefaultMOSFET())
+func Fig14(opt Options) (*Report, error) {
+	md := opt.platform().PipelineModel()
 	res := md.Superpipeline(pipeline.BOOM(), pipeline.At77())
-	return stageTable("fig14", "Critical path after frontend superpipelining at 77K",
+	return stageTable(md, "fig14", "Critical path after frontend superpipelining at 77K",
 		res.Pipeline, pipeline.At77(),
 		"paper: max critical path falls 38.0% vs 300K baseline (frequency +61%)",
 		fmt.Sprintf("split stages: %v (target: %s)", res.SplitStages, res.TargetStage)), nil

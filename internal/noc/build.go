@@ -74,6 +74,52 @@ func BuildTorus(nodes int, timing Timing) (*RouterNet, error) {
 	return NewTorus(nodes, timing), nil
 }
 
+// designBuilders is the single name→constructor table behind both
+// DesignNames and NewByName (and, through them, the public facade's
+// NoCDesignNames/NoCLoadLatency), so the advertised list can never
+// drift from what the factory actually builds.
+var designBuilders = []struct {
+	name string
+	mk   func(nodes int, mesh, bus Timing) (Network, error)
+}{
+	{"mesh", func(n int, m, _ Timing) (Network, error) { return BuildMesh(n, m) }},
+	{"torus", func(n int, m, _ Timing) (Network, error) { return BuildTorus(n, m) }},
+	{"ring", func(n int, m, _ Timing) (Network, error) { return BuildRing(n, m) }},
+	{"cmesh", func(n int, m, _ Timing) (Network, error) { return BuildCMesh(n, m) }},
+	{"fbfly", func(n int, m, _ Timing) (Network, error) { return BuildFlattenedButterfly(n, m) }},
+	{"sharedbus", func(n int, _, b Timing) (Network, error) { return NewSharedBus77(n, b), nil }},
+	{"cryobus", func(n int, _, b Timing) (Network, error) { return NewCryoBus(n, b), nil }},
+	{"cryobus-2way", func(n int, _, b Timing) (Network, error) {
+		return NewInterleavedBus(2, func() *Bus { return NewCryoBus(n, b) }), nil
+	}},
+}
+
+// DesignNames lists the named interconnect designs NewByName builds, in
+// canonical order.
+func DesignNames() []string {
+	out := make([]string, len(designBuilders))
+	for i, d := range designBuilders {
+		out[i] = d.name
+	}
+	return out
+}
+
+// NewByName builds a named interconnect over nodes. Router designs
+// clock at the mesh timing, bus designs at the bus timing; invalid node
+// counts and unknown names are errors (bus constructors accept any
+// positive node count, so only mesh-family shapes can fail).
+func NewByName(name string, nodes int, mesh, bus Timing) (Network, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("noc: design %q needs a positive node count, got %d", name, nodes)
+	}
+	for _, d := range designBuilders {
+		if d.name == name {
+			return d.mk(nodes, mesh, bus)
+		}
+	}
+	return nil, fmt.Errorf("noc: unknown NoC design %q (have %v)", name, DesignNames())
+}
+
 // ApplyFaults degrades the router network per the fault scenario: every
 // link the injector declares dead is replaced by its slow spare wire
 // (roughly triple the flight time plus the mux turns on and off the

@@ -1,0 +1,68 @@
+package noc
+
+import (
+	"testing"
+
+	"cryowire/internal/phys"
+)
+
+func factoryTimings() (mesh, bus Timing) {
+	m := phys.DefaultMOSFET()
+	op := Op77()
+	return MeshTiming(op, m, 1), BusTiming(op, m)
+}
+
+// DesignNames must list exactly the designs the factory builds — the
+// facade's NoCDesignNames reads this list, so drift here breaks the
+// public contract.
+func TestDesignNamesComplete(t *testing.T) {
+	want := []string{"mesh", "torus", "ring", "cmesh", "fbfly", "sharedbus", "cryobus", "cryobus-2way"}
+	got := DesignNames()
+	if len(got) != len(want) {
+		t.Fatalf("DesignNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DesignNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// Every advertised name must build a working 64-node network with a
+// positive zero-load latency.
+func TestNewByNameBuildsEveryDesign(t *testing.T) {
+	meshT, busT := factoryTimings()
+	for _, name := range DesignNames() {
+		n, err := NewByName(name, 64, meshT, busT)
+		if err != nil {
+			t.Fatalf("NewByName(%q, 64): %v", name, err)
+		}
+		if n == nil {
+			t.Fatalf("NewByName(%q, 64) returned a nil network", name)
+		}
+		if n.Nodes() != 64 {
+			t.Errorf("NewByName(%q, 64).Nodes() = %d", name, n.Nodes())
+		}
+		if zl := n.ZeroLoadLatency(); zl <= 0 {
+			t.Errorf("NewByName(%q, 64).ZeroLoadLatency() = %v, want > 0", name, zl)
+		}
+	}
+}
+
+func TestNewByNameErrors(t *testing.T) {
+	meshT, busT := factoryTimings()
+	if _, err := NewByName("hypercube", 64, meshT, busT); err == nil {
+		t.Error("NewByName accepted an unknown design name")
+	}
+	for _, nodes := range []int{0, -8} {
+		if _, err := NewByName("mesh", nodes, meshT, busT); err == nil {
+			t.Errorf("NewByName(mesh, %d) accepted a non-positive node count", nodes)
+		}
+	}
+	// Mesh-family designs need a square (or 4·k²) layout; 60 is neither.
+	for _, name := range []string{"mesh", "torus", "cmesh", "fbfly"} {
+		if _, err := NewByName(name, 60, meshT, busT); err == nil {
+			t.Errorf("NewByName(%q, 60) accepted a non-square node count", name)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package noc
 
 import (
 	"math/rand"
+
+	"cryowire/internal/par"
 )
 
 // SweepPoint is one measurement of a load-latency curve.
@@ -22,6 +24,10 @@ type SweepConfig struct {
 	// data transfers (0 keeps all packets single-flit control).
 	DataFlits    int
 	DataFraction float64
+	// Workers bounds the sweep's fan-out; 0 or 1 sweeps serially. Each
+	// rate seeds its own generator from (Seed, rate), so parallel sweeps
+	// return byte-identical points to serial ones.
+	Workers int
 }
 
 func (c *SweepConfig) defaults() {
@@ -45,11 +51,26 @@ type sourceState struct {
 }
 
 // LoadLatency sweeps injection rates over fresh networks built by mk
-// and returns one point per rate. The sweep stops early once a rate
-// saturates (standard BookSim methodology: latency beyond a large
-// multiple of zero-load, or throughput collapse).
+// and returns one point per rate. The sweep stops after the first rate
+// that saturates (standard BookSim methodology: latency beyond a large
+// multiple of zero-load, or throughput collapse). With cfg.Workers > 1
+// the rates are measured concurrently on fresh networks and the result
+// is truncated at the first saturated rate, so the returned points are
+// byte-identical to a serial sweep.
 func LoadLatency(mk func() Network, cfg SweepConfig) []SweepPoint {
 	cfg.defaults()
+	if cfg.Workers > 1 {
+		pts := make([]SweepPoint, len(cfg.Rates))
+		par.For(len(cfg.Rates), cfg.Workers, func(i int) {
+			pts[i] = measureRate(mk(), cfg.Rates[i], cfg)
+		})
+		for i, p := range pts {
+			if p.Saturated {
+				return pts[:i+1]
+			}
+		}
+		return pts
+	}
 	var out []SweepPoint
 	for _, rate := range cfg.Rates {
 		p := measureRate(mk(), rate, cfg)
@@ -142,20 +163,49 @@ func measureRate(n Network, rate float64, cfg SweepConfig) SweepPoint {
 	return SweepPoint{InjectionRate: rate, AvgLatency: avg, Saturated: sat}
 }
 
+// saturationLadder is the geometric rate grid SaturationRate walks.
+func saturationLadder() []float64 {
+	var out []float64
+	for rate := 0.0005; rate < 0.6; rate *= 1.35 {
+		out = append(out, rate)
+	}
+	return out
+}
+
 // SaturationRate estimates the injection rate at which the network
 // saturates by walking a geometric rate grid — the "bandwidth limit"
-// quoted for Figs 18/21/25/26.
+// quoted for Figs 18/21/25/26. With cfg.Workers > 1 the grid is
+// measured in worker-sized batches, stopping at the batch containing
+// the first saturated rung; every rung seeds independently, so the
+// answer matches the serial walk exactly.
 func SaturationRate(mk func() Network, cfg SweepConfig) float64 {
 	cfg.defaults()
-	rate := 0.0005
+	ladder := saturationLadder()
+	if cfg.Workers > 1 {
+		pts := make([]SweepPoint, len(ladder))
+		for lo := 0; lo < len(ladder); lo += cfg.Workers {
+			hi := lo + cfg.Workers
+			if hi > len(ladder) {
+				hi = len(ladder)
+			}
+			par.For(hi-lo, cfg.Workers, func(i int) {
+				pts[lo+i] = measureRate(mk(), ladder[lo+i], cfg)
+			})
+			for i := lo; i < hi; i++ {
+				if pts[i].Saturated {
+					return ladder[i]
+				}
+			}
+		}
+		return ladder[len(ladder)-1]
+	}
 	last := 0.0
-	for rate < 0.6 {
+	for _, rate := range ladder {
 		p := measureRate(mk(), rate, cfg)
 		if p.Saturated {
 			return rate
 		}
 		last = rate
-		rate *= 1.35
 	}
 	return last
 }

@@ -16,6 +16,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 
 	"cryowire/internal/phys"
 	"cryowire/internal/wire"
@@ -152,10 +153,13 @@ func BOOM() Pipeline {
 	return Pipeline{Name: "BOOM-Skylake-8i", Stages: boomStages(), Depth: 14}
 }
 
-// Model evaluates stage delays at operating points.
+// Model evaluates stage delays at operating points. One Model is
+// shared by every runner of a Platform, so its caches are guarded for
+// concurrent use.
 type Model struct {
 	MOSFET *phys.MOSFET
 	// shortWire and longWire cache per-temperature wire speed-ups.
+	mu         sync.Mutex
 	shortCache map[phys.Kelvin]float64
 	longCache  map[phys.Kelvin]float64
 }
@@ -175,6 +179,8 @@ const shortWireLenMM = 0.3
 
 // WireSpeedup returns the 300K→T wire-delay reduction for the kind.
 func (md *Model) WireSpeedup(kind WireKind, t phys.Kelvin) float64 {
+	md.mu.Lock()
+	defer md.mu.Unlock()
 	switch kind {
 	case LongWire:
 		if v, ok := md.longCache[t]; ok {

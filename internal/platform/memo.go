@@ -1,0 +1,51 @@
+package platform
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// memo is a concurrency-safe compute-once-per-key cache. A short
+// mutex-protected map lookup installs a per-key once; the (possibly
+// expensive) compute runs outside the map lock, so concurrent callers
+// of *different* keys derive in parallel while concurrent callers of
+// the *same* key block until the single derivation finishes. The zero
+// value is ready to use, which is what lets Platform embed one memo per
+// artifact kind without a constructor.
+type memo[K comparable, V any] struct {
+	mu     sync.Mutex
+	m      map[K]*memoEntry[V]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// get returns the cached value for k, computing it exactly once.
+func (c *memo[K, V]) get(k K, compute func() V) V {
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if !ok {
+		if c.m == nil {
+			c.m = make(map[K]*memoEntry[V])
+		}
+		e = &memoEntry[V]{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.val = compute() })
+	return e.val
+}
+
+// stats snapshots the hit/miss counters.
+func (c *memo[K, V]) stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}

@@ -4,30 +4,34 @@ import (
 	"cryowire/internal/mem"
 	"cryowire/internal/noc"
 	"cryowire/internal/phys"
-	"cryowire/internal/pipeline"
+	"cryowire/internal/platform"
 )
 
-// Factory builds the evaluation designs of Table 4 from the device
-// models.
+// Factory builds the evaluation designs of Table 4 on top of a shared
+// Platform, so every design reuses the memoized core derivations and
+// NoC timings instead of re-running them per design.
 type Factory struct {
-	MOSFET *phys.MOSFET
-	Model  *pipeline.Model
-	Cores  int
+	P     *platform.Platform
+	Cores int
 }
 
-// NewFactory wires the default models for the 64-core target.
-func NewFactory() *Factory {
-	m := phys.DefaultMOSFET()
-	return &Factory{MOSFET: m, Model: pipeline.NewModel(m), Cores: 64}
+// NewFactory wires the process-wide default platform for the 64-core
+// target.
+func NewFactory() *Factory { return NewFactoryWith(platform.Default()) }
+
+// NewFactoryWith builds designs from an explicit platform (for
+// sensitivity studies on perturbed device cards).
+func NewFactoryWith(p *platform.Platform) *Factory {
+	return &Factory{P: p, Cores: 64}
 }
 
 // Baseline300 is "Baseline (300K, Mesh)".
 func (f *Factory) Baseline300() Design {
 	return Design{
 		Name:   "Baseline (300K, Mesh)",
-		Core:   pipeline.Baseline300(f.Model),
+		Core:   f.P.Baseline300(),
 		Net:    Mesh,
-		NoC:    noc.MeshTiming(phys.Nominal45, f.MOSFET, 1),
+		NoC:    f.P.MeshTiming(phys.Nominal45, 1),
 		Memory: mem.Mem300(),
 		Cores:  f.Cores,
 	}
@@ -38,9 +42,9 @@ func (f *Factory) Baseline300() Design {
 func (f *Factory) CHPMesh() Design {
 	return Design{
 		Name:   "CHP-core (77K, Mesh)",
-		Core:   pipeline.CHPCore(f.Model),
+		Core:   f.P.CHPCore(),
 		Net:    Mesh,
-		NoC:    noc.MeshTiming(noc.Op77(), f.MOSFET, 1),
+		NoC:    f.P.MeshTiming(noc.Op77(), 1),
 		Memory: mem.Mem77(),
 		Cores:  f.Cores,
 	}
@@ -50,9 +54,9 @@ func (f *Factory) CHPMesh() Design {
 func (f *Factory) CryoSPMesh() Design {
 	return Design{
 		Name:   "CryoSP (77K, Mesh)",
-		Core:   pipeline.CryoSP(f.Model),
+		Core:   f.P.CryoSP(),
 		Net:    Mesh,
-		NoC:    noc.MeshTiming(noc.Op77(), f.MOSFET, 1),
+		NoC:    f.P.MeshTiming(noc.Op77(), 1),
 		Memory: mem.Mem77(),
 		Cores:  f.Cores,
 	}
@@ -62,9 +66,9 @@ func (f *Factory) CryoSPMesh() Design {
 func (f *Factory) CHPCryoBus() Design {
 	return Design{
 		Name:   "CHP-core (77K, CryoBus)",
-		Core:   pipeline.CHPCore(f.Model),
+		Core:   f.P.CHPCore(),
 		Net:    CryoBus,
-		NoC:    noc.BusTiming(noc.Op77(), f.MOSFET),
+		NoC:    f.P.BusTiming(noc.Op77()),
 		Memory: mem.Mem77(),
 		Cores:  f.Cores,
 	}
@@ -74,9 +78,9 @@ func (f *Factory) CHPCryoBus() Design {
 func (f *Factory) CryoSPCryoBus() Design {
 	return Design{
 		Name:   "CryoSP (77K, CryoBus)",
-		Core:   pipeline.CryoSP(f.Model),
+		Core:   f.P.CryoSP(),
 		Net:    CryoBus,
-		NoC:    noc.BusTiming(noc.Op77(), f.MOSFET),
+		NoC:    f.P.BusTiming(noc.Op77()),
 		Memory: mem.Mem77(),
 		Cores:  f.Cores,
 	}
@@ -98,9 +102,9 @@ func (f *Factory) Evaluation() []Design {
 func (f *Factory) SharedBus77() Design {
 	return Design{
 		Name:   "CHP-core (77K, Shared bus)",
-		Core:   pipeline.CHPCore(f.Model),
+		Core:   f.P.CHPCore(),
 		Net:    SharedBus,
-		NoC:    noc.BusTiming(noc.Op77(), f.MOSFET),
+		NoC:    f.P.BusTiming(noc.Op77()),
 		Memory: mem.Mem77(),
 		Cores:  f.Cores,
 	}
@@ -110,9 +114,9 @@ func (f *Factory) SharedBus77() Design {
 func (f *Factory) IdealNoC77() Design {
 	return Design{
 		Name:   "CHP-core (77K, Ideal NoC)",
-		Core:   pipeline.CHPCore(f.Model),
+		Core:   f.P.CHPCore(),
 		Net:    Ideal,
-		NoC:    noc.BusTiming(noc.Op77(), f.MOSFET),
+		NoC:    f.P.BusTiming(noc.Op77()),
 		Memory: mem.Mem77(),
 		Cores:  f.Cores,
 	}

@@ -176,6 +176,11 @@ type Config struct {
 	// Watchdog configures deadlock/livelock detection; the zero value
 	// enables it with defaults.
 	Watchdog Watchdog
+	// Workers bounds the fan-out of grid evaluations built on this
+	// config (core.Evaluate, the experiment sweeps). Each simulation
+	// still runs single-threaded with its own rng seeded from Seed, so
+	// results are identical at any worker count; 0 or 1 runs serially.
+	Workers int
 }
 
 // DefaultConfig returns run lengths that trade a little noise for

@@ -39,6 +39,31 @@ var (
 	Forwarding = Spec{Class: phys.SemiGlobalWire, WidthNM: 140, ThicknessNM: 280, CapPerMM: 0.23e-12}
 )
 
+// ClassNames lists the wire classes SpecByName accepts, in the order
+// the paper introduces them.
+func ClassNames() []string {
+	return []string{"local", "semi-global", "global", "forwarding"}
+}
+
+// SpecByName returns the standard geometry for a named wire class:
+// "local", "semi-global", "global", or "forwarding" (the widened
+// semi-global bypass wire). Unknown names are an error listing the
+// valid classes.
+func SpecByName(class string) (Spec, error) {
+	switch class {
+	case "local":
+		return Local, nil
+	case "semi-global":
+		return SemiGlobal, nil
+	case "global":
+		return Global, nil
+	case "forwarding":
+		return Forwarding, nil
+	default:
+		return Spec{}, fmt.Errorf("wire: unknown wire class %q (have %v)", class, ClassNames())
+	}
+}
+
 // ResistancePerMM returns the wire resistance in Ω/mm at temperature t.
 func (s Spec) ResistancePerMM(t phys.Kelvin) float64 {
 	rho := phys.Resistivity(s.Class, t) // µΩ·cm = 1e-8 Ω·m
