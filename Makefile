@@ -3,14 +3,18 @@
 # cycle-level simulator, the shared platform cache and the parallel
 # experiment engine are the concurrency-sensitive parts).
 #
-#   make test    - quick gate: build + tests (the ROADMAP tier-1 command)
-#   make check   - full gate: vet + build + race-enabled shuffled tests (~3 min)
-#   make bench   - Go benchmarks + serial-vs-parallel engine timing
-#                  (writes BENCH_platform.json)
+#   make test        - quick gate: build + tests (the ROADMAP tier-1 command)
+#   make check       - full gate: vet + build + race-enabled shuffled tests
+#                      + HTTP serve smoke test (~3 min)
+#   make serve-smoke - boot `cryowire serve` on a random port, probe
+#                      /healthz and /metrics, and diff the experiment
+#                      endpoint's JSON against the CLI's -json output
+#   make bench       - Go benchmarks + serial-vs-parallel engine timing
+#                      and server hot/cold throughput (writes BENCH_platform.json)
 
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race check bench serve-smoke
 
 all: check
 
@@ -26,7 +30,10 @@ vet:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-check: vet build race
+serve-smoke: build
+	sh scripts/serve_smoke.sh
+
+check: vet build race serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -3,7 +3,9 @@
 // checks the rendered reports are byte-identical, and writes the
 // wall-times to BENCH_platform.json. The speed-up criterion only
 // applies on multi-core machines, so the core count is recorded
-// alongside the timings.
+// alongside the timings. It also benchmarks the HTTP service layer
+// in-process: one cold request (paying the model computation) versus
+// sustained hot requests answered from the response LRU.
 //
 // Usage:
 //
@@ -13,8 +15,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"flag"
@@ -22,6 +29,7 @@ import (
 	"cryowire/internal/experiments"
 	"cryowire/internal/par"
 	"cryowire/internal/platform"
+	"cryowire/internal/server"
 )
 
 type result struct {
@@ -37,6 +45,52 @@ type result struct {
 	CacheMisses    uint64  `json:"platform_cache_misses"`
 	FailedSerial   int     `json:"failed_serial"`
 	FailedParallel int     `json:"failed_parallel"`
+
+	// HTTP service layer: a cold request computes the experiment, hot
+	// requests are served from the response LRU.
+	ServerColdSeconds float64 `json:"server_cold_seconds"`
+	ServerHotRPS      float64 `json:"server_hot_rps"`
+}
+
+// benchServer measures one cold experiment request and the sustained
+// hot (LRU-served) request rate against the in-process handler.
+func benchServer(quick bool) (coldSeconds, hotRPS float64, err error) {
+	srv := server.New(server.Config{
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"quick":%t}`, quick)
+	url := ts.URL + "/v1/experiments/fig22"
+	post := func() error {
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("server benchmark: status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	if err := post(); err != nil {
+		return 0, 0, err
+	}
+	coldSeconds = time.Since(start).Seconds()
+
+	const hotN = 2000
+	start = time.Now()
+	for i := 0; i < hotN; i++ {
+		if err := post(); err != nil {
+			return 0, 0, err
+		}
+	}
+	hotRPS = hotN / time.Since(start).Seconds()
+	return coldSeconds, hotRPS, nil
 }
 
 // runAll renders every outcome into one deterministic blob.
@@ -79,6 +133,12 @@ func main() {
 	parBlob, parFailed, parDur := runAll(opt)
 	stats := opt.Platform.Stats()
 
+	cold, hotRPS, err := benchServer(*quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchplatform: %v\n", err)
+		os.Exit(1)
+	}
+
 	r := result{
 		Cores:          runtime.NumCPU(),
 		Workers:        workers,
@@ -92,6 +152,9 @@ func main() {
 		CacheMisses:    stats.Misses,
 		FailedSerial:   serialFailed,
 		FailedParallel: parFailed,
+
+		ServerColdSeconds: cold,
+		ServerHotRPS:      hotRPS,
 	}
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

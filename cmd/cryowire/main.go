@@ -8,26 +8,44 @@
 //	cryowire all              # run everything
 //	cryowire -quick fig21     # shrunk sweeps for a fast look
 //	cryowire -parallel all    # fan out over all CPUs (same output)
+//	cryowire serve -addr :8080  # serve the same reports over HTTP
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 
 	"cryowire/internal/experiments"
 	"cryowire/internal/par"
+	"cryowire/internal/server"
 )
 
 var jsonOut bool
 
 func main() {
+	// "serve" has its own flag set; dispatch before parsing the
+	// experiment flags so `cryowire serve -addr :9090` works.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(serveMain(os.Args[2:]))
+	}
+
 	quick := flag.Bool("quick", false, "use shrunk sweeps and shorter simulations")
 	parallel := flag.Bool("parallel", false, "fan experiments out over all CPUs (output is identical to a serial run)")
 	workers := flag.Int("workers", 0, "exact worker count for -parallel (default: all CPUs)")
 	flag.BoolVar(&jsonOut, "json", false, "emit reports as JSON instead of text tables")
 	flag.Usage = usage
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "cryowire: -workers must be >= 0, got %d\n", *workers)
+		usage()
+		os.Exit(2)
+	}
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -42,6 +60,13 @@ func main() {
 	if *workers > 0 {
 		opt.Workers = *workers
 	}
+
+	// Ctrl-C cancels the context threaded through every experiment's
+	// fan-out and cycle loop, so an interrupted run stops promptly
+	// instead of finishing the whole sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	arg := flag.Arg(0)
 	switch arg {
 	case "list", "all":
@@ -67,7 +92,7 @@ func main() {
 		// RunAll returns outcomes in sorted-ID order regardless of the
 		// worker count, so serial and parallel output are byte-identical.
 		var failed []string
-		for _, oc := range experiments.RunAll(opt) {
+		for _, oc := range experiments.RunAllCtx(ctx, opt) {
 			if oc.Err != nil {
 				fmt.Fprintf(os.Stderr, "cryowire: %v\n", oc.Err)
 				failed = append(failed, oc.ID)
@@ -87,7 +112,7 @@ func main() {
 		return
 	default:
 		for _, id := range flag.Args() {
-			if err := runOne(id, opt); err != nil {
+			if err := runOne(ctx, id, opt); err != nil {
 				fmt.Fprintf(os.Stderr, "cryowire: %v\n", err)
 				os.Exit(1)
 			}
@@ -95,8 +120,78 @@ func main() {
 	}
 }
 
-func runOne(id string, opt experiments.Options) error {
-	r, err := experiments.Run(id, opt)
+// serveMain runs the HTTP service layer (`cryowire serve`).
+func serveMain(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently admitted /v1 requests (default: 2x CPUs)")
+	cacheEntries := fs.Int("cache-entries", 0, "response cache entry bound (default 512)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "response cache byte bound (default 64 MiB)")
+	timeout := fs.Duration("timeout", 0, "per-request computation deadline (default 10m)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: cryowire serve [-addr :8080] [-max-inflight n] [-cache-entries n]
+                      [-cache-bytes n] [-timeout d] [-pprof]
+
+Serves the experiment registry, the full-system simulator and the
+facade sweeps as a JSON HTTP API (see README "Serving"). SIGINT/SIGTERM
+drain in-flight requests before exiting.
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "cryowire serve: unexpected arguments %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if err := validateAddr(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire serve: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+	if *maxInflight < 0 || *cacheEntries < 0 || *cacheBytes < 0 || *timeout < 0 {
+		fmt.Fprintln(os.Stderr, "cryowire serve: -max-inflight, -cache-entries, -cache-bytes and -timeout must be >= 0")
+		fs.Usage()
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		MaxInflight:    *maxInflight,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		RequestTimeout: *timeout,
+		EnablePprof:    *enablePprof,
+	})
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire serve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// validateAddr rejects malformed listen addresses and out-of-range
+// ports before they turn into a confusing bind error.
+func validateAddr(addr string) error {
+	_, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("invalid -addr %q: %v", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("invalid -addr %q: port %q is not a number", addr, portStr)
+	}
+	if port < 0 || port > 65535 {
+		return fmt.Errorf("invalid -addr %q: port %d out of range 0-65535", addr, port)
+	}
+	return nil
+}
+
+func runOne(ctx context.Context, id string, opt experiments.Options) error {
+	r, err := experiments.RunCtx(ctx, id, opt)
 	if err != nil {
 		return err
 	}
@@ -120,14 +215,18 @@ func emit(r *experiments.Report) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cryowire [-quick] [-json] [-parallel] [-workers n] <experiment>...
        cryowire list | all
+       cryowire serve [-addr :8080] [flags]
 
 "list" and "all" stand alone and cannot be combined with experiment
 IDs. "all" runs every experiment, keeps going past failures, and exits
-non-zero only after printing a failure summary.
+non-zero only after printing a failure summary. Ctrl-C cancels the run.
 
 -parallel fans the experiments (and their internal sweeps) out over a
 bounded worker pool; every task seeds from its own configuration, so
 the output is byte-identical to a serial run.
+
+"serve" exposes the same reports as a JSON HTTP API; see README
+"Serving" and `+"`cryowire serve -h`"+` for its flags.
 
 Experiments reproduce the CryoWire paper's tables and figures; see
 DESIGN.md for the experiment index and EXPERIMENTS.md for results.

@@ -20,6 +20,7 @@
 package cryowire
 
 import (
+	"context"
 	"fmt"
 
 	"cryowire/internal/core"
@@ -74,6 +75,15 @@ func RunExperiment(id string, opt Options) (*Report, error) {
 	return experiments.Run(id, opt)
 }
 
+// RunExperimentCtx is RunExperiment with cancellation: once ctx is done
+// the experiment's internal fan-outs stop handing out tasks, in-flight
+// simulations abort between cycles, and ctx's error is returned. This
+// is what lets an abandoned HTTP request (or a Ctrl-C'd CLI run) stop
+// burning workers mid-sweep.
+func RunExperimentCtx(ctx context.Context, id string, opt Options) (*Report, error) {
+	return experiments.RunCtx(ctx, id, opt)
+}
+
 // ExperimentOutcome is one RunAllExperiments result.
 type ExperimentOutcome = experiments.Outcome
 
@@ -84,6 +94,13 @@ type ExperimentOutcome = experiments.Outcome
 // execution order.
 func RunAllExperiments(opt Options) []ExperimentOutcome {
 	return experiments.RunAll(opt)
+}
+
+// RunAllExperimentsCtx is RunAllExperiments with cancellation: once ctx
+// is done no further experiment starts and every unfinished outcome
+// carries ctx's error, so there is always one outcome per ID.
+func RunAllExperimentsCtx(ctx context.Context, opt Options) []ExperimentOutcome {
+	return experiments.RunAllCtx(ctx, opt)
 }
 
 // System-simulation access for downstream users.
@@ -133,6 +150,17 @@ func Simulate(d Design, w Workload, cfg SimConfig) (res SimResult, err error) {
 	return s.Run()
 }
 
+// SimulateCtx is Simulate with cancellation: the run aborts between
+// simulated cycles once ctx is done and returns ctx's error, so callers
+// holding a deadline (HTTP handlers, batch drivers) never wait for a
+// doomed run to finish.
+func SimulateCtx(ctx context.Context, d Design, w Workload, cfg SimConfig) (SimResult, error) {
+	if ctx != nil {
+		cfg = cfg.WithContext(ctx)
+	}
+	return Simulate(d, w, cfg)
+}
+
 // --- wire-study API (the Fig 5 workflow) ------------------------------------
 
 // WireClassNames lists the wire classes WireSpeedupAt accepts, in
@@ -168,6 +196,12 @@ func NoCDesignNames() []string { return noc.DesignNames() }
 // by the shared noc factory (see NoCDesignNames); timings come memoized
 // from the shared Platform.
 func NoCLoadLatency(design, pattern string, tempK float64, rates []float64) ([]LoadLatencyPoint, error) {
+	return NoCLoadLatencyCtx(context.Background(), design, pattern, tempK, rates)
+}
+
+// NoCLoadLatencyCtx is NoCLoadLatency with cancellation: the sweep
+// stops between rates once ctx is done and returns ctx's error.
+func NoCLoadLatencyCtx(ctx context.Context, design, pattern string, tempK float64, rates []float64) ([]LoadLatencyPoint, error) {
 	pf := platform.Default()
 	op, err := pf.OpAt(tempK)
 	if err != nil {
@@ -192,8 +226,12 @@ func NoCLoadLatency(design, pattern string, tempK float64, rates []float64) ([]L
 	if err != nil {
 		return nil, err
 	}
-	cfg := noc.SweepConfig{Pattern: pat, Rates: rates, Seed: 1}
-	return noc.LoadLatency(mk, cfg), nil
+	cfg := noc.SweepConfig{Pattern: pat, Rates: rates, Seed: 1, Ctx: ctx}
+	pts := noc.LoadLatency(mk, cfg)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("cryowire: load-latency sweep: %w", ctx.Err())
+	}
+	return pts, nil
 }
 
 // --- temperature-sweep API (the Fig 27 workflow) ----------------------------

@@ -146,7 +146,10 @@ func TestPublicAPINeverPanics(t *testing.T) {
 			return err
 		})
 	}
-	for _, tc := range []struct{ class string; temp float64 }{
+	for _, tc := range []struct {
+		class string
+		temp  float64
+	}{
 		{"local", 0}, {"local", -273}, {"global", math.NaN()}, {"warp-drive", 77},
 	} {
 		tc := tc
@@ -155,7 +158,10 @@ func TestPublicAPINeverPanics(t *testing.T) {
 			return err
 		})
 	}
-	for _, tc := range []struct{ design, pattern string; temp float64 }{
+	for _, tc := range []struct {
+		design, pattern string
+		temp            float64
+	}{
 		{"hypercube", "uniform", 77}, {"mesh", "fractal", 77}, {"mesh", "uniform", -4},
 	} {
 		tc := tc

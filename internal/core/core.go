@@ -137,7 +137,10 @@ func (c *CryoWire) Evaluate(designs []sim.Design, profiles []workload.Profile, r
 		ev.Perf[wi] = make([]float64, nd)
 	}
 	errs := make([]error, nw*nd)
-	par.For(nw*nd, cfg.Workers, func(i int) {
+	// The grid honors the config's context twice over: ForCtx stops
+	// handing out cells once it is done, and each in-flight simulation
+	// aborts between cycles (sim.Config carries the same context).
+	if err := par.ForCtx(cfg.Context(), nw*nd, cfg.Workers, func(i int) {
 		wi, di := i/nd, i%nd
 		s, err := sim.New(designs[di], profiles[wi], cfg)
 		if err != nil {
@@ -150,7 +153,9 @@ func (c *CryoWire) Evaluate(designs []sim.Design, profiles []workload.Profile, r
 			return
 		}
 		ev.Perf[wi][di] = res.Performance
-	})
+	}); err != nil {
+		return Evaluation{}, fmt.Errorf("core: evaluation canceled: %w", err)
+	}
 	// Report the first error in grid order — the same one the serial
 	// loop would have stopped on.
 	for _, err := range errs {

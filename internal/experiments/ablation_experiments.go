@@ -71,14 +71,17 @@ func AblTopology(opt Options) (*Report, error) {
 		{"H-tree @300K (topology only)", func() *noc.Bus { return noc.NewHTreeBus300(64, b300) }},
 		{"H-tree @77K (CryoBus)", func() *noc.Bus { return noc.NewCryoBus(64, b77) }},
 	}
+	cfg.Ctx = opt.Context()
 	rows := make([][]string, len(cases))
-	par.For(len(cases), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(cases), opt.Workers, func(i int) {
 		c := cases[i]
 		b := c.mk()
 		_, _, _, bc := b.Breakdown()
 		sat := noc.SaturationRate(func() noc.Network { return c.mk() }, cfg)
 		rows[i] = []string{c.name, f1(bc), f1(b.ZeroLoadLatency()), fmt.Sprintf("%.4f", sat)}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	r.Rows = rows
 	return r, nil
 }
@@ -108,10 +111,11 @@ func AblDynamicLinks(opt Options) (*Report, error) {
 	} else {
 		cfg.WarmupCycles, cfg.MeasureCycles = 1500, 5000
 	}
+	cfg.Ctx = opt.Context()
 	ht := noc.NewHTree(64)
 	variants := []bool{false, true}
 	rows := make([][]string, len(variants))
-	par.For(len(variants), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(variants), opt.Workers, func(i int) {
 		dyn := variants[i]
 		name := "static (full broadcast)"
 		occ := float64(b77.WireCycles(ht.BroadcastHops()))
@@ -131,7 +135,9 @@ func AblDynamicLinks(opt Options) (*Report, error) {
 		}
 		sat := noc.SaturationRate(func() noc.Network { return mk(dyn)() }, cfg)
 		rows[i] = []string{name, f2(occ), fmt.Sprintf("%.4f", sat)}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	r.Rows = rows
 	return r, nil
 }
@@ -158,9 +164,9 @@ func AblSnoopBenefit(opt Options) (*Report, error) {
 	designs := []sim.Design{f.CHPMesh(), f.CHPCryoBus()}
 	perf := make([]float64, len(workloads)*len(designs))
 	errs := make([]error, len(perf))
-	par.For(len(perf), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(perf), opt.Workers, func(i int) {
 		wl, d := workloads[i/len(designs)], designs[i%len(designs)]
-		s, err := sim.New(d, wl, opt.Sim)
+		s, err := sim.New(d, wl, opt.simCfg())
 		if err != nil {
 			errs[i] = err
 			return
@@ -171,7 +177,9 @@ func AblSnoopBenefit(opt Options) (*Report, error) {
 			return
 		}
 		perf[i] = res.Performance
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -221,9 +229,10 @@ func AblInterleave(opt Options) (*Report, error) {
 	} else {
 		cfg.WarmupCycles, cfg.MeasureCycles = 1500, 5000
 	}
+	cfg.Ctx = opt.Context()
 	allWays := []int{1, 2, 4}
 	rows := make([][]string, len(allWays))
-	par.For(len(allWays), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(allWays), opt.Workers, func(i int) {
 		ways := allWays[i]
 		mk := func() noc.Network {
 			if ways == 1 {
@@ -233,7 +242,9 @@ func AblInterleave(opt Options) (*Report, error) {
 		}
 		sat := noc.SaturationRate(mk, cfg)
 		rows[i] = []string{fmt.Sprintf("%d", ways), fmt.Sprintf("%.4f", sat)}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	r.Rows = rows
 	return r, nil
 }

@@ -71,7 +71,7 @@ func Fig22Activity(opt Options) (*Report, error) {
 	// the measurements fan out over opt.Workers without changing them.
 	ms := make([]measured, len(cases))
 	errs := make([]error, len(cases))
-	par.For(len(cases), opt.Workers, func(ci int) {
+	if err := par.ForCtx(opt.Context(), len(cases), opt.Workers, func(ci int) {
 		c := cases[ci]
 		n := c.mk()
 		rng := rand.New(rand.NewSource(9))
@@ -117,7 +117,9 @@ func Fig22Activity(opt Options) (*Report, error) {
 			static:      stat,
 			temp:        c.temp,
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

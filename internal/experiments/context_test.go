@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// RunCtx with an already-canceled context must fail fast with the
+// context error instead of running the experiment.
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunCtx(ctx, "fig22", QuickOptions())
+	if err == nil {
+		t.Fatal("RunCtx on canceled context returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if rep != nil {
+		t.Fatal("RunCtx returned a report alongside the cancellation error")
+	}
+}
+
+// RunAllCtx on a canceled context must return one Outcome per
+// registered experiment, each carrying its ID and a cancellation error,
+// so callers can still render a complete (failed) table.
+func TestRunAllCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := RunAllCtx(ctx, QuickOptions())
+	ids := IDs()
+	if len(out) != len(ids) {
+		t.Fatalf("got %d outcomes, want %d", len(out), len(ids))
+	}
+	for i, o := range out {
+		if o.ID != ids[i] {
+			t.Fatalf("outcome %d: ID = %q, want %q", i, o.ID, ids[i])
+		}
+		if o.Err == nil {
+			t.Fatalf("outcome %s: expected a cancellation error", o.ID)
+		}
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("outcome %s: err = %v, want wrapped context.Canceled", o.ID, o.Err)
+		}
+	}
+}
+
+// Run and RunAll (the context-free wrappers) must still work unchanged.
+func TestRunWrapperUnchanged(t *testing.T) {
+	rep, err := Run("fig22", QuickOptions())
+	if err != nil {
+		t.Fatalf("Run(fig22) = %v", err)
+	}
+	if rep.ID != "fig22" {
+		t.Fatalf("report ID = %q", rep.ID)
+	}
+}

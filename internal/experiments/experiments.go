@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -94,6 +95,25 @@ type Options struct {
 	// serially. Every task derives its seed from Sim.Seed and its own
 	// grid position, so reports are byte-identical at any worker count.
 	Workers int
+	// ctx carries the caller's cancellation signal into every runner's
+	// fan-out and every simulation; nil never cancels. Set with
+	// WithContext (RunCtx and RunAllCtx do it for you).
+	ctx context.Context
+}
+
+// WithContext returns a copy of the options whose experiment runs abort
+// with ctx's error once ctx is canceled or its deadline passes.
+func (o Options) WithContext(ctx context.Context) Options {
+	o.ctx = ctx
+	return o
+}
+
+// Context returns the options' cancellation context, never nil.
+func (o Options) Context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 // platform returns the options' platform, defaulting to the shared one.
@@ -105,11 +125,15 @@ func (o Options) platform() *platform.Platform {
 }
 
 // simCfg returns the simulation config with the experiment-level worker
-// bound threaded through (an explicit Sim.Workers wins).
+// bound and cancellation context threaded through (an explicit
+// Sim.Workers wins).
 func (o Options) simCfg() sim.Config {
 	cfg := o.Sim
 	if cfg.Workers == 0 {
 		cfg.Workers = o.Workers
+	}
+	if o.ctx != nil {
+		cfg = cfg.WithContext(o.ctx)
 	}
 	return cfg
 }
@@ -148,9 +172,22 @@ func IDs() []string {
 // Run executes one experiment by ID. Any residual internal panic is
 // recovered into an error so the public API never crashes the caller.
 func Run(id string, opt Options) (rep *Report, err error) {
+	return RunCtx(opt.Context(), id, opt)
+}
+
+// RunCtx is Run with cancellation: once ctx is done the experiment's
+// internal fan-outs stop handing out tasks, in-flight simulations abort
+// between cycles, and ctx's error comes back to the caller.
+func RunCtx(ctx context.Context, id string, opt Options) (rep *Report, err error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	if ctx != nil {
+		opt = opt.WithContext(ctx)
+	}
+	if err := opt.Context().Err(); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -174,12 +211,29 @@ type Outcome struct {
 // position, the outcomes — and their rendered reports — are
 // byte-identical to a serial run.
 func RunAll(opt Options) []Outcome {
+	return RunAllCtx(opt.Context(), opt)
+}
+
+// RunAllCtx is RunAll with cancellation: once ctx is done no further
+// experiment starts and every not-yet-finished outcome reports ctx's
+// error, so the caller always gets one outcome per registered ID.
+func RunAllCtx(ctx context.Context, opt Options) []Outcome {
+	if ctx != nil {
+		opt = opt.WithContext(ctx)
+	}
 	ids := IDs()
 	out := make([]Outcome, len(ids))
-	par.For(len(ids), opt.Workers, func(i int) {
-		rep, err := Run(ids[i], opt)
+	err := par.ForCtx(opt.Context(), len(ids), opt.Workers, func(i int) {
+		rep, err := RunCtx(opt.Context(), ids[i], opt)
 		out[i] = Outcome{ID: ids[i], Report: rep, Err: err}
 	})
+	if err != nil {
+		for i := range out {
+			if out[i].ID == "" {
+				out[i] = Outcome{ID: ids[i], Err: fmt.Errorf("experiments: %s: %w", ids[i], err)}
+			}
+		}
+	}
 	return out
 }
 

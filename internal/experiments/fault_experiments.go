@@ -45,9 +45,9 @@ func FaultSweep(opt Options) (*Report, error) {
 	nr := len(rates)
 	results := make([]sim.Result, len(designs)*nr)
 	errs := make([]error, len(results))
-	par.For(len(results), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(results), opt.Workers, func(i int) {
 		d, rate := designs[i/nr], rates[i%nr]
-		cfg := opt.Sim
+		cfg := opt.simCfg()
 		if rate > 0 {
 			cfg.Fault = &fault.Config{
 				Seed:               cfg.Seed + 7,
@@ -66,7 +66,9 @@ func FaultSweep(opt Options) (*Report, error) {
 			return
 		}
 		results[i] = res
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

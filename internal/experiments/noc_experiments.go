@@ -190,13 +190,16 @@ func loadLatencyReport(id, title string, nets []nocUnderTest, pattern noc.Patter
 	} else {
 		cfg.WarmupCycles, cfg.MeasureCycles = 1500, 5000
 	}
+	cfg.Ctx = opt.Context()
 	rows := make([][]string, len(nets))
-	par.For(len(nets), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(nets), opt.Workers, func(i int) {
 		n := nets[i]
 		zero := n.mk().ZeroLoadLatency()
 		sat := noc.SaturationRate(n.mk, cfg)
 		rows[i] = []string{n.name, f1(zero), fmt.Sprintf("%.4f", sat)}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	r.Rows = rows
 	return r, nil
 }
@@ -239,8 +242,9 @@ func Fig25(opt Options) (*Report, error) {
 		base.WarmupCycles, base.MeasureCycles = 1500, 5000
 	}
 	// Flatten the pattern×design grid so the whole figure fans out.
+	base.Ctx = opt.Context()
 	rows := make([][]string, len(patterns)*len(picks))
-	par.For(len(rows), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(rows), opt.Workers, func(i int) {
 		pat := patterns[i/len(picks)]
 		n := nets[picks[i%len(picks)]]
 		cfg := base
@@ -248,7 +252,9 @@ func Fig25(opt Options) (*Report, error) {
 		zero := n.mk().ZeroLoadLatency()
 		sat := noc.SaturationRate(n.mk, cfg)
 		rows[i] = []string{pat.Name(), n.name, f1(zero), fmt.Sprintf("%.4f", sat)}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	r.Rows = rows
 	return r, nil
 }

@@ -57,9 +57,9 @@ func Fig3(opt Options) (*Report, error) {
 	rows := make([][]string, len(profiles))
 	shares := make([]float64, len(profiles))
 	errs := make([]error, len(profiles))
-	par.For(len(profiles), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(profiles), opt.Workers, func(i int) {
 		p := profiles[i]
-		s, err := sim.New(d, p, opt.Sim)
+		s, err := sim.New(d, p, opt.simCfg())
 		if err != nil {
 			errs[i] = err
 			return
@@ -74,7 +74,9 @@ func Fig3(opt Options) (*Report, error) {
 			pct(res.Stack[sim.BucketBase]), pct(res.Stack[sim.BucketNoC]),
 			pct(res.Stack[sim.BucketL3]), pct(res.Stack[sim.BucketDRAM]),
 			pct(res.Stack[sim.BucketSync]), pct(shares[i])}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -107,9 +109,9 @@ func Fig17(opt Options) (*Report, error) {
 	// Flatten the profile×design grid so every simulation fans out.
 	perf := make([]float64, len(profiles)*len(designs))
 	errs := make([]error, len(perf))
-	par.For(len(perf), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(perf), opt.Workers, func(i int) {
 		p, d := profiles[i/len(designs)], designs[i%len(designs)]
-		s, err := sim.New(d, p, opt.Sim)
+		s, err := sim.New(d, p, opt.simCfg())
 		if err != nil {
 			errs[i] = err
 			return
@@ -120,7 +122,9 @@ func Fig17(opt Options) (*Report, error) {
 			return
 		}
 		perf[i] = res.Performance
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -336,14 +340,14 @@ func table3IPC(cores []pipeline.CoreSpec, opt Options) ([]float64, error) {
 	np := len(profiles)
 	ipc := make([]float64, len(cores)*np)
 	errs := make([]error, len(ipc))
-	par.For(len(ipc), opt.Workers, func(i int) {
+	if err := par.ForCtx(opt.Context(), len(ipc), opt.Workers, func(i int) {
 		c := cores[i/np]
 		p := profiles[i%np]
 		d := f.CHPMesh()
 		c.FreqGHz = 4.0
 		d.Core = c
 		d.Name = c.Name + "@4GHz"
-		s, err := sim.New(d, p, opt.Sim)
+		s, err := sim.New(d, p, opt.simCfg())
 		if err != nil {
 			errs[i] = err
 			return
@@ -354,7 +358,9 @@ func table3IPC(cores []pipeline.CoreSpec, opt Options) ([]float64, error) {
 			return
 		}
 		ipc[i] = res.IPC
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

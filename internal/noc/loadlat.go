@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"math/rand"
 
 	"cryowire/internal/par"
@@ -28,6 +29,18 @@ type SweepConfig struct {
 	// rate seeds its own generator from (Seed, rate), so parallel sweeps
 	// return byte-identical points to serial ones.
 	Workers int
+	// Ctx, when non-nil, cancels the sweep between rates: LoadLatency
+	// returns the points measured so far and SaturationRate the last
+	// rate examined. Callers that care must check Ctx.Err() afterwards.
+	Ctx context.Context
+}
+
+// ctx returns the sweep's cancellation context, never nil.
+func (c SweepConfig) ctx() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 func (c *SweepConfig) defaults() {
@@ -61,9 +74,19 @@ func LoadLatency(mk func() Network, cfg SweepConfig) []SweepPoint {
 	cfg.defaults()
 	if cfg.Workers > 1 {
 		pts := make([]SweepPoint, len(cfg.Rates))
-		par.For(len(cfg.Rates), cfg.Workers, func(i int) {
+		if err := par.ForCtx(cfg.ctx(), len(cfg.Rates), cfg.Workers, func(i int) {
 			pts[i] = measureRate(mk(), cfg.Rates[i], cfg)
-		})
+		}); err != nil {
+			// Canceled: keep the deterministic measured prefix. Every
+			// measured point has AvgLatency > 0 (a delivery takes at least
+			// one cycle and saturation reports SaturationLatency), so a
+			// zero-valued slot marks the first rate that never ran.
+			done := 0
+			for done < len(pts) && pts[done].AvgLatency > 0 {
+				done++
+			}
+			pts = pts[:done]
+		}
 		for i, p := range pts {
 			if p.Saturated {
 				return pts[:i+1]
@@ -73,6 +96,9 @@ func LoadLatency(mk func() Network, cfg SweepConfig) []SweepPoint {
 	}
 	var out []SweepPoint
 	for _, rate := range cfg.Rates {
+		if cfg.ctx().Err() != nil {
+			break
+		}
 		p := measureRate(mk(), rate, cfg)
 		out = append(out, p)
 		if p.Saturated {
@@ -188,9 +214,11 @@ func SaturationRate(mk func() Network, cfg SweepConfig) float64 {
 			if hi > len(ladder) {
 				hi = len(ladder)
 			}
-			par.For(hi-lo, cfg.Workers, func(i int) {
+			if err := par.ForCtx(cfg.ctx(), hi-lo, cfg.Workers, func(i int) {
 				pts[lo+i] = measureRate(mk(), ladder[lo+i], cfg)
-			})
+			}); err != nil {
+				return ladder[lo]
+			}
 			for i := lo; i < hi; i++ {
 				if pts[i].Saturated {
 					return ladder[i]
@@ -201,6 +229,9 @@ func SaturationRate(mk func() Network, cfg SweepConfig) float64 {
 	}
 	last := 0.0
 	for _, rate := range ladder {
+		if cfg.ctx().Err() != nil {
+			break
+		}
 		p := measureRate(mk(), rate, cfg)
 		if p.Saturated {
 			return rate

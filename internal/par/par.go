@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -41,6 +42,23 @@ func Normalize(workers, n int) int {
 // (experiments.Run, the public Simulate) behave identically in serial
 // and parallel mode.
 func For(n, workers int, fn func(i int)) {
+	// A background context never cancels, so the error is always nil.
+	_ = ForCtx(context.Background(), n, workers, fn)
+}
+
+// ForCtx is For with cooperative cancellation: no new task starts once
+// ctx is done, tasks already running finish normally, and the context's
+// error (if any) is returned after the pool drains. Cancellation is
+// checked between tasks — a long-running fn that wants finer-grained
+// cancellation must watch ctx itself. A nil ctx runs to completion.
+//
+// Because tasks write results into index-addressed slots, a canceled
+// ForCtx leaves the slots of unstarted tasks untouched; callers must
+// treat the result as invalid whenever ForCtx returns a non-nil error.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers = Normalize(workers, n)
 	var (
 		panicOnce sync.Once
@@ -56,6 +74,9 @@ func For(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			call(i)
 		}
 	} else {
@@ -70,8 +91,13 @@ func For(n, workers int, fn func(i int)) {
 				}
 			}()
 		}
+	dispatch:
 		for i := 0; i < n; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
@@ -79,4 +105,5 @@ func For(n, workers int, fn func(i int)) {
 	if panicked != nil {
 		panic(panicked)
 	}
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -97,5 +98,54 @@ func TestForPanicDoesNotDeadlock(t *testing.T) {
 	}()
 	if got := atomic.LoadInt32(&ran); got != 100 {
 		t.Fatalf("ran %d of 100 tasks after panic", got)
+	}
+}
+
+// ForCtx with a pre-canceled context must not start any work in the
+// parallel path and must report the context error.
+func TestForCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := ForCtx(ctx, 100, workers, func(i int) { atomic.AddInt32(&ran, 1) })
+		if err == nil {
+			t.Fatalf("workers=%d: ForCtx returned nil on canceled context", workers)
+		}
+		// The serial path checks before each call; the parallel path
+		// checks before each dispatch. Either way nothing should run.
+		if got := atomic.LoadInt32(&ran); got != 0 {
+			t.Fatalf("workers=%d: %d tasks ran on a pre-canceled context", workers, got)
+		}
+	}
+}
+
+// Canceling mid-flight must stop dispatching: well under n tasks run,
+// in-flight tasks complete, and the context error is returned.
+func TestForCtxCancelStopsDispatch(t *testing.T) {
+	const n = 100000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForCtx(ctx, n, 4, func(i int) {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("ForCtx returned nil after mid-flight cancel")
+	}
+	if got := atomic.LoadInt32(&ran); got == n {
+		t.Fatal("cancellation did not stop dispatch: every task ran")
+	}
+}
+
+// A nil context must behave like context.Background.
+func TestForCtxNil(t *testing.T) {
+	var ran int32
+	if err := ForCtx(nil, 10, 2, func(i int) { atomic.AddInt32(&ran, 1) }); err != nil {
+		t.Fatalf("ForCtx(nil, ...) = %v", err)
+	}
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10", ran)
 	}
 }

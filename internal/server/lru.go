@@ -1,0 +1,123 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is the size-bounded response cache behind the /v1 endpoints.
+// Entries are keyed on the canonical hashed request and hold the exact
+// response bytes, so a hot query is served straight from memory without
+// touching the model stack. Both an entry count and a total byte budget
+// bound the cache; least-recently-used entries are evicted first.
+//
+// Stored bodies are shared between the cache and every response writer,
+// so callers must never mutate a body after Add or Get.
+type lru struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recent
+	items      map[string]*list.Element
+	bytes      int64
+
+	hits, misses, evictions uint64
+}
+
+// lruEntry is one cached response.
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// lruStats is a point-in-time snapshot of cache traffic and occupancy.
+type lruStats struct {
+	Entries   int
+	Bytes     int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// newLRU builds a cache bounded by maxEntries entries and maxBytes
+// total body bytes; non-positive bounds disable that dimension's limit.
+func newLRU(maxEntries int, maxBytes int64) *lru {
+	return &lru{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key and promotes it to most-recent.
+func (c *lru) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Add stores body under key, evicting least-recently-used entries until
+// both bounds hold again. A body larger than the whole byte budget is
+// not cached at all — evicting everything for one giant response would
+// defeat the cache.
+func (c *lru) Add(key string, body []byte) {
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for c.overLimit() {
+		c.evictOldest()
+	}
+}
+
+// overLimit reports whether either bound is exceeded.
+func (c *lru) overLimit() bool {
+	if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
+}
+
+// evictOldest drops the least-recently-used entry.
+func (c *lru) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.body))
+	c.evictions++
+}
+
+// Stats snapshots occupancy and traffic counters.
+func (c *lru) Stats() lruStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return lruStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flightGroup coalesces concurrent computations of the same canonical
+// request: the first caller becomes the leader and runs the compute
+// function once; every identical request that arrives while it runs
+// waits for the same result instead of re-deriving it.
+//
+// The compute function runs on a context derived from the server's
+// lifetime (plus the per-request timeout), not from any one request —
+// a leader's disconnect must not fail the followers riding its result.
+// The context is refcounted instead: every waiter that gives up
+// (request canceled, client gone) decrements the count, and when the
+// last waiter leaves the computation is canceled, so abandoned work
+// actually stops burning workers.
+type flightGroup struct {
+	base    context.Context // server lifetime: canceled on shutdown
+	timeout time.Duration   // per-computation deadline; 0 means none
+
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done    chan struct{}
+	body    []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+	// joined reports whether any follower coalesced onto this call —
+	// read after done closes for metrics.
+	joined bool
+}
+
+// newFlightGroup builds a group whose computations live at most as long
+// as base (and, when timeout > 0, no longer than timeout each).
+func newFlightGroup(base context.Context, timeout time.Duration) *flightGroup {
+	return &flightGroup{base: base, timeout: timeout, calls: make(map[string]*flightCall)}
+}
+
+// Do returns the result of fn for key, coalescing concurrent calls.
+// shared reports whether this caller rode an in-flight computation
+// started by another request. If ctx (the caller's request context)
+// ends first, Do returns its error immediately; the computation keeps
+// running only while at least one caller still waits on it.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		c.joined = true
+		g.mu.Unlock()
+		body, err = g.wait(ctx, key, c)
+		return body, true, err
+	}
+	var cctx context.Context
+	var cancel context.CancelFunc
+	if g.timeout > 0 {
+		cctx, cancel = context.WithTimeout(g.base, g.timeout)
+	} else {
+		cctx, cancel = context.WithCancel(g.base)
+	}
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.mu.Unlock()
+	go func() {
+		c.body, c.err = fn(cctx)
+		g.mu.Lock()
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		cancel()
+		close(c.done)
+	}()
+	body, err = g.wait(ctx, key, c)
+	return body, false, err
+}
+
+// wait blocks until the call completes or the caller's context ends.
+func (g *flightGroup) wait(ctx context.Context, key string, c *flightCall) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.body, c.err
+	case <-ctx.Done():
+		g.leave(key, c)
+		return nil, ctx.Err()
+	}
+}
+
+// leave drops one waiter; the last one out cancels the computation and
+// unpublishes the call so a fresh request starts clean instead of
+// joining a dying one.
+func (g *flightGroup) leave(key string, c *flightCall) {
+	g.mu.Lock()
+	c.waiters--
+	if c.waiters == 0 {
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		c.cancel()
+	}
+	g.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 
 	"cryowire/internal/coherence"
@@ -494,13 +495,31 @@ func (s *System) totalCommitted() float64 {
 	return t
 }
 
+// cancelCheckCycles is how often (in NoC cycles) Run polls its
+// context: often enough that an abandoned request stops within
+// microseconds of real time, rare enough to stay invisible in the
+// cycle loop's profile.
+const cancelCheckCycles = 1024
+
 // Run executes warmup + measurement and returns the result. The
 // watchdog samples the run every CheckInterval cycles; a deadlocked or
 // livelocked system returns a cycle-stamped *StallError instead of
-// spinning forever.
+// spinning forever. If the config carries a context (Config.WithContext)
+// the run aborts between cycles once that context is done, so canceled
+// callers stop burning CPU mid-simulation rather than at the end.
 func (s *System) Run() (Result, error) {
+	ctx := s.cfg.Context()
+	done := ctx.Done()
 	wd := &watchdogState{cfg: s.cfg.Watchdog.withDefaults()}
 	check := func(cycle int) error {
+		if done != nil && cycle%cancelCheckCycles == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("sim: %s/%s canceled at cycle %d: %w",
+					s.design.Name, s.prof.Name, s.now, ctx.Err())
+			default:
+			}
+		}
 		if s.cfg.Watchdog.Disabled || cycle%wd.cfg.CheckInterval != 0 {
 			return nil
 		}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -181,6 +182,26 @@ type Config struct {
 	// still runs single-threaded with its own rng seeded from Seed, so
 	// results are identical at any worker count; 0 or 1 runs serially.
 	Workers int
+	// ctx carries the caller's cancellation signal into Run and into
+	// every grid evaluation built on this config; nil never cancels.
+	// Set with WithContext (the field stays unexported so the zero
+	// Config keeps working everywhere).
+	ctx context.Context
+}
+
+// WithContext returns a copy of the config whose simulations and grid
+// fan-outs abort with ctx's error once ctx is canceled or times out.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+// Context returns the config's cancellation context, never nil.
+func (c Config) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // DefaultConfig returns run lengths that trade a little noise for

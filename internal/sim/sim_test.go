@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -316,5 +318,31 @@ func TestIdealNoCIsUpperBound(t *testing.T) {
 				t.Errorf("%s on %s (%v) exceeded the ideal NoC (%v)", wl, d.Name, p, ideal)
 			}
 		}
+	}
+}
+
+// A canceled context must abort the cycle loop with a wrapped context
+// error, and WithContext must not leak into copies of the config.
+func TestRunCanceledContext(t *testing.T) {
+	p, err := workload.ByName("ferret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := New(NewFactory().Baseline300(), p, testCfg().WithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run on canceled context = %v, want wrapped context.Canceled", err)
+	}
+	// The context-free config still runs to completion.
+	s2, err := New(NewFactory().Baseline300(), p, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Run(); err != nil {
+		t.Fatalf("context-free run failed: %v", err)
 	}
 }
