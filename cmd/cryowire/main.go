@@ -9,6 +9,8 @@
 //	cryowire -quick fig21     # shrunk sweeps for a fast look
 //	cryowire -parallel all    # fan out over all CPUs (same output)
 //	cryowire serve -addr :8080  # serve the same reports over HTTP
+//	cryowire dse -strategy hillclimb  # search the cryogenic design space
+//	cryowire -version         # print embedded build information
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strconv"
 	"syscall"
 
+	"cryowire/internal/buildinfo"
 	"cryowire/internal/experiments"
 	"cryowire/internal/par"
 	"cryowire/internal/server"
@@ -29,18 +32,33 @@ import (
 var jsonOut bool
 
 func main() {
-	// "serve" has its own flag set; dispatch before parsing the
-	// experiment flags so `cryowire serve -addr :9090` works.
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		os.Exit(serveMain(os.Args[2:]))
+	// "serve" and "dse" have their own flag sets; dispatch before
+	// parsing the experiment flags so `cryowire serve -addr :9090` and
+	// `cryowire dse -strategy hillclimb` work.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			os.Exit(serveMain(os.Args[2:]))
+		case "dse":
+			os.Exit(dseMain(os.Args[2:]))
+		}
 	}
 
 	quick := flag.Bool("quick", false, "use shrunk sweeps and shorter simulations")
+	version := flag.Bool("version", false, "print build information and exit")
 	parallel := flag.Bool("parallel", false, "fan experiments out over all CPUs (output is identical to a serial run)")
 	workers := flag.Int("workers", 0, "exact worker count for -parallel (default: all CPUs)")
 	flag.BoolVar(&jsonOut, "json", false, "emit reports as JSON instead of text tables")
 	flag.Usage = usage
 	flag.Parse()
+	if *version {
+		fmt.Printf("cryowire %s (built with %s", buildinfo.Version(), buildinfo.GoVersion())
+		if rev := buildinfo.Revision(); rev != "" {
+			fmt.Printf(", revision %s", rev)
+		}
+		fmt.Println(")")
+		return
+	}
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "cryowire: -workers must be >= 0, got %d\n", *workers)
 		usage()
@@ -216,6 +234,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cryowire [-quick] [-json] [-parallel] [-workers n] <experiment>...
        cryowire list | all
        cryowire serve [-addr :8080] [flags]
+       cryowire dse [flags]
+       cryowire -version
 
 "list" and "all" stand alone and cannot be combined with experiment
 IDs. "all" runs every experiment, keeps going past failures, and exits
@@ -227,6 +247,14 @@ the output is byte-identical to a serial run.
 
 "serve" exposes the same reports as a JSON HTTP API; see README
 "Serving" and `+"`cryowire serve -h`"+` for its flags.
+
+"dse" searches the cryogenic design space (temperature x voltage mode x
+pipeline depth x interconnect x workload) and reports the Pareto
+frontier; see `+"`cryowire dse -h`"+`.
+
+-version prints the module version, Go toolchain and VCS revision
+embedded by the Go build (debug.ReadBuildInfo); /healthz on the server
+reports the same values.
 
 Experiments reproduce the CryoWire paper's tables and figures; see
 DESIGN.md for the experiment index and EXPERIMENTS.md for results.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"cryowire/internal/core"
+	"cryowire/internal/dse"
 	"cryowire/internal/experiments"
 	"cryowire/internal/fault"
 	"cryowire/internal/noc"
@@ -248,4 +249,32 @@ func TemperatureSweep(tempsK []float64) ([]TempSweepPoint, error) {
 		temps[i] = power.Kelvin(t)
 	}
 	return platform.Default().PowerModel().TemperatureSweep(temps)
+}
+
+// Design-space exploration (internal/dse): search temperature, voltage
+// mode, pipeline depth, interconnect and workload against pluggable
+// objectives and extract the Pareto frontier.
+type (
+	// DSESpace is the searchable design space.
+	DSESpace = dse.Space
+	// DSEPoint is one fully specified candidate design.
+	DSEPoint = dse.Point
+	// DSEConfig parameterizes one search.
+	DSEConfig = dse.Config
+	// DSEResult is a search outcome: the evaluated count plus the
+	// Pareto frontier over (performance, watts, energy).
+	DSEResult = dse.Result
+)
+
+// DefaultDSESpace returns the standard search space (quick shrinks it
+// for tests and fast looks).
+func DefaultDSESpace(quick bool) DSESpace { return dse.DefaultSpace(quick) }
+
+// DSEStrategies lists the built-in search strategy names.
+func DSEStrategies() []string { return dse.Strategies() }
+
+// RunDSE executes one design-space search on the shared platform; see
+// dse.Run for the journaling and determinism contract.
+func RunDSE(ctx context.Context, cfg DSEConfig) (*DSEResult, error) {
+	return dse.Run(ctx, cfg)
 }

@@ -1,0 +1,51 @@
+// Package buildinfo reports what this binary was built from, using
+// only the metadata the Go toolchain already embeds
+// (debug.ReadBuildInfo) — no ldflags stamping, no extra build steps.
+// The CLI's -version flag and the server's /healthz document the same
+// values, so "which build is running?" has one answer everywhere.
+package buildinfo
+
+import "runtime/debug"
+
+// Version returns the module version of the main module: a tag for
+// released builds, a pseudo-version for module-mode builds in between,
+// and "(devel)" for plain `go build` trees. "unknown" means the binary
+// carries no build info at all (stripped, or built outside modules).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok || bi.Main.Version == "" {
+		return "unknown"
+	}
+	return bi.Main.Version
+}
+
+// GoVersion returns the Go toolchain that built the binary.
+func GoVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	return bi.GoVersion
+}
+
+// Revision returns the VCS revision the binary was built from, with a
+// "+dirty" suffix for modified trees; empty when the build carries no
+// VCS stamp (e.g. `go build` outside a repository or with -buildvcs=off).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	return rev + modified
+}

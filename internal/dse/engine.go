@@ -1,0 +1,196 @@
+package dse
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cryowire/internal/par"
+	"cryowire/internal/platform"
+	"cryowire/internal/sim"
+)
+
+// Config parameterizes one search.
+type Config struct {
+	// Space is the design space to search. Validated by Run.
+	Space Space
+	// Strategy names the search strategy (see Strategies). Empty means
+	// the exhaustive grid.
+	Strategy string
+	// Budget caps the number of evaluated candidates. Zero or negative
+	// means the whole space.
+	Budget int
+	// Seed drives the seeded strategies; runs with equal (space, config,
+	// strategy, seed) produce identical results.
+	Seed int64
+	// Sim is the per-candidate simulation config (run lengths, sim
+	// seed). The context is supplied by Run, not here.
+	Sim sim.Config
+	// Workers bounds parallel candidate evaluation; 0 means
+	// par.DefaultWorkers().
+	Workers int
+	// Platform supplies the shared derivation cache; nil means
+	// platform.Default().
+	Platform *platform.Platform
+	// Objectives span the Pareto frontier; nil means DefaultObjectives.
+	Objectives []Objective
+	// Journal, when non-empty, is the path of the JSON-lines checkpoint
+	// journal. Evaluations are appended as they complete; with Resume a
+	// prior journal for the same search is replayed instead of
+	// re-simulated.
+	Journal string
+	// Resume allows Journal to already exist and be continued.
+	Resume bool
+}
+
+// Result is the outcome of one search.
+type Result struct {
+	// Strategy and Seed echo the search parameters.
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+	// SpaceSize is the total number of candidates in the space.
+	SpaceSize int `json:"space_size"`
+	// Evaluated is how many candidates the search measured.
+	Evaluated int `json:"evaluated"`
+	// Objectives names the frontier's axes in order.
+	Objectives []string `json:"objectives"`
+	// Frontier is the non-dominated set, sorted by point index.
+	Frontier []Candidate `json:"frontier"`
+}
+
+// Run executes one design-space search: it validates the space, replays
+// any resumed journal, drives the strategy until the budget or the
+// space is exhausted, evaluates each proposed batch in parallel on the
+// shared platform cache, and extracts the Pareto frontier. Cancel ctx
+// to stop between batches; a journaled run resumed after cancellation
+// continues where it stopped and, with the same seed, produces
+// byte-identical output to an uninterrupted run.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Space.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = StrategyGrid
+	}
+	strat, err := NewStrategy(cfg.Strategy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = platform.Default()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = par.DefaultWorkers()
+	}
+	objs := cfg.Objectives
+	if len(objs) == 0 {
+		objs = DefaultObjectives()
+	}
+	size := cfg.Space.Size()
+	budget := cfg.Budget
+	if budget <= 0 || budget > size {
+		budget = size
+	}
+	var jl *journal
+	if cfg.Journal != "" {
+		jl, err = openJournal(cfg.Journal, cfg.Space, cfg.Sim, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer jl.close()
+	}
+
+	var hist []HistoryEntry
+	seen := make(map[int]bool)
+	for len(hist) < budget {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch := strat.Next(cfg.Space, hist, budget-len(hist))
+		// Drop out-of-range and repeat proposals; repeats are already in
+		// the history and must not consume budget again.
+		fresh := batch[:0]
+		for _, i := range batch {
+			if i >= 0 && i < size && !seen[i] {
+				seen[i] = true
+				fresh = append(fresh, i)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		// Evaluate the batch in parallel; journaled candidates are served
+		// from the checkpoint without re-simulating. Results land in
+		// index-addressed slots, so history order is proposal order — the
+		// order the strategy's determinism contract depends on — not
+		// completion order.
+		evals := make([]Eval, len(fresh))
+		errs := make([]error, len(fresh))
+		perr := par.ForCtx(ctx, len(fresh), cfg.Workers, func(k int) {
+			pt := cfg.Space.At(fresh[k])
+			if e, ok := jl.lookup(fresh[k]); ok {
+				evals[k] = e
+				return
+			}
+			prof, err := cfg.Space.profileByName(pt.Workload)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			evals[k], errs[k] = evaluate(ctx, cfg.Platform, pt, prof, cfg.Sim)
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		for k, i := range fresh {
+			if errs[k] != nil {
+				return nil, errs[k]
+			}
+			if err := jl.record(i, evals[k]); err != nil {
+				return nil, err
+			}
+			hist = append(hist, HistoryEntry{Index: i, Point: cfg.Space.At(i), Eval: evals[k]})
+		}
+	}
+
+	cands := make([]Candidate, len(hist))
+	for i, h := range hist {
+		cands[i] = Candidate{Index: h.Index, Point: h.Point, Eval: h.Eval}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].Index < cands[b].Index })
+	res := &Result{
+		Strategy:  cfg.Strategy,
+		Seed:      cfg.Seed,
+		SpaceSize: size,
+		Evaluated: len(cands),
+		Frontier:  paretoFrontier(cands, objs),
+	}
+	for _, o := range objs {
+		res.Objectives = append(res.Objectives, o.Name)
+	}
+	return res, nil
+}
+
+// JSON renders the result as stable, indented JSON — the bytes the
+// resume determinism guarantee is stated over.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the frontier as a text report.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dse: strategy=%s seed=%d evaluated=%d/%d candidates\n",
+		r.Strategy, r.Seed, r.Evaluated, r.SpaceSize)
+	fmt.Fprintf(&b, "Pareto frontier over (%s): %d points\n", strings.Join(r.Objectives, ", "), len(r.Frontier))
+	fmt.Fprintf(&b, "  %-32s %9s %7s %8s %9s %10s %9s\n",
+		"design", "freq GHz", "IPC", "perf", "watts", "perf/W", "energy")
+	for _, c := range r.Frontier {
+		e := c.Eval
+		fmt.Fprintf(&b, "  %-32s %9.2f %7.3f %8.2f %9.3f %10.2f %9.5f\n",
+			c.Point.String(), e.FreqGHz, e.IPC, e.Performance, e.TotalPower, e.PerfPerWatt, e.Energy)
+	}
+	return b.String()
+}

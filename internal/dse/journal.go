@@ -1,0 +1,193 @@
+package dse
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cryowire/internal/sim"
+)
+
+// The checkpoint journal is a JSON-lines file: one header line binding
+// the journal to its (space, simulation config) pair, then one line per
+// completed evaluation. Because every evaluation is a pure function of
+// (point, config), the journal is only a memo — resuming replays the
+// seeded strategy from scratch and serves journaled indexes from the
+// cache, so a resumed run's output is byte-identical to an
+// uninterrupted one. Lines are appended with O_APPEND and synced per
+// batch; a truncated trailing line (killed mid-write) is ignored.
+
+// journalHeader is the first line of a journal file.
+type journalHeader struct {
+	// Kind guards against feeding an unrelated JSONL file to -resume.
+	Kind string `json:"kind"`
+	// Key fingerprints the (space, sim config) pair the evaluations
+	// are valid for.
+	Key string `json:"key"`
+}
+
+// journalLine is one completed evaluation.
+type journalLine struct {
+	Index int  `json:"index"`
+	Eval  Eval `json:"eval"`
+}
+
+const journalKind = "cryowire-dse-journal"
+
+// journalKey fingerprints everything an Eval depends on: the full axis
+// lists (index meaning) and the simulation lengths/seed. A journal
+// recorded under a different key is rejected rather than silently
+// replaying stale numbers.
+func journalKey(s Space, cfg sim.Config) string {
+	canon := fmt.Sprintf("%s||warmup=%d|measure=%d|seed=%d|cores=%d",
+		s.canonical(), cfg.WarmupCycles, cfg.MeasureCycles, cfg.Seed, evalCores)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:])
+}
+
+// journal is an append-only evaluation log with its in-memory cache.
+type journal struct {
+	f     *os.File
+	cache map[int]Eval
+}
+
+// openJournal opens (creating if needed) the journal at path for the
+// given search, loading any prior evaluations recorded under the same
+// key. With resume=false an existing non-empty journal is an error —
+// silently appending a fresh run onto an old one would corrupt both.
+func openJournal(path string, s Space, cfg sim.Config, resume bool) (*journal, error) {
+	key := journalKey(s, cfg)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dse: open journal: %w", err)
+	}
+	j := &journal{f: f, cache: make(map[int]Eval)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dse: stat journal: %w", err)
+	}
+	if st.Size() == 0 {
+		// Fresh journal: write the header.
+		hdr, err := json.Marshal(journalHeader{Kind: journalKind, Key: key})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dse: write journal header: %w", err)
+		}
+		return j, nil
+	}
+	if !resume {
+		f.Close()
+		return nil, fmt.Errorf("dse: journal %s already exists; pass -resume to continue it or remove it to start over", path)
+	}
+	if err := j.load(key); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load reads the existing journal, checks the header key, and fills
+// the cache. A malformed or truncated trailing line (the run was
+// killed mid-write) is tolerated; malformed interior lines are errors.
+func (j *journal) load(key string) error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("dse: rewind journal: %w", err)
+	}
+	sc := bufio.NewScanner(j.f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("dse: journal has no header line")
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return fmt.Errorf("dse: journal header: %w", err)
+	}
+	if hdr.Kind != journalKind {
+		return fmt.Errorf("dse: not a dse journal (kind %q)", hdr.Kind)
+	}
+	if hdr.Key != key {
+		return fmt.Errorf("dse: journal was recorded for a different space or simulation config; remove it to start over")
+	}
+	var prev string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if prev != "" {
+			// Only now do we know prev was an interior line: it must parse.
+			if err := j.addLine(prev); err != nil {
+				return err
+			}
+		}
+		prev = line
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dse: read journal: %w", err)
+	}
+	if prev != "" {
+		// The final line may be a torn write from a killed run; skip it
+		// silently if it does not parse. Its evaluation just re-runs.
+		var l journalLine
+		if err := json.Unmarshal([]byte(prev), &l); err == nil {
+			j.cache[l.Index] = l.Eval
+		}
+	}
+	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("dse: seek journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) addLine(line string) error {
+	var l journalLine
+	if err := json.Unmarshal([]byte(line), &l); err != nil {
+		return fmt.Errorf("dse: corrupt journal line: %w", err)
+	}
+	j.cache[l.Index] = l.Eval
+	return nil
+}
+
+// lookup returns the journaled evaluation for a point index, if any.
+func (j *journal) lookup(i int) (Eval, bool) {
+	if j == nil {
+		return Eval{}, false
+	}
+	e, ok := j.cache[i]
+	return e, ok
+}
+
+// record appends one completed evaluation and syncs it to disk so a
+// kill after record never loses the work.
+func (j *journal) record(i int, e Eval) error {
+	if j == nil {
+		return nil
+	}
+	j.cache[i] = e
+	b, err := json.Marshal(journalLine{Index: i, Eval: e})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("dse: append journal: %w", err)
+	}
+	return j.f.Sync()
+}
+
+// close releases the journal file.
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}

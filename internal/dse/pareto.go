@@ -1,0 +1,72 @@
+package dse
+
+import "sort"
+
+// Candidate is one evaluated design point in a Result.
+type Candidate struct {
+	// Index is the point's stable index in the searched space.
+	Index int `json:"index"`
+	// Point is the decoded design.
+	Point Point `json:"point"`
+	// Eval is the measured outcome.
+	Eval Eval `json:"eval"`
+}
+
+// dominates reports whether a dominates b under the objectives: a is
+// at least as good on every objective and strictly better on one.
+func dominates(a, b Eval, objs []Objective) bool {
+	strict := false
+	for _, o := range objs {
+		av, bv := o.Value(a), o.Value(b)
+		if !o.Maximize {
+			av, bv = -av, -bv
+		}
+		if av < bv {
+			return false
+		}
+		if av > bv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// paretoFrontier filters the evaluated candidates down to the
+// non-dominated set under the objectives, sorted by point index so the
+// frontier is deterministic regardless of evaluation order.
+func paretoFrontier(cands []Candidate, objs []Objective) []Candidate {
+	var front []Candidate
+	for i, c := range cands {
+		dominated := false
+		for k, o := range cands {
+			if i == k {
+				continue
+			}
+			if dominates(o.Eval, c.Eval, objs) {
+				dominated = true
+				break
+			}
+			// Duplicate evaluations (identical on every objective) keep
+			// only the lowest-index representative.
+			if k < i && !dominates(c.Eval, o.Eval, objs) && equalOn(o.Eval, c.Eval, objs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(a, b int) bool { return front[a].Index < front[b].Index })
+	return front
+}
+
+// equalOn reports whether two evaluations tie on every objective.
+func equalOn(a, b Eval, objs []Objective) bool {
+	for _, o := range objs {
+		if o.Value(a) != o.Value(b) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cryowire/internal/platform"
+)
+
+// TestResumeByteIdentical is the determinism acceptance check: a seeded
+// search interrupted partway and resumed from its journal produces the
+// exact bytes of an uninterrupted run.
+func TestResumeByteIdentical(t *testing.T) {
+	pf := platform.New()
+	base := Config{
+		Space:    DefaultSpace(true),
+		Strategy: StrategyHillClimb,
+		Budget:   10,
+		Seed:     42,
+		Sim:      quickSim(),
+		Workers:  4,
+		Platform: pf,
+	}
+
+	// The reference: one uninterrupted run.
+	ref, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The interrupted run: same seed, journaled, stopped after a
+	// partial budget — standing in for a mid-search kill.
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "dse.jsonl")
+	part := base
+	part.Budget = 4
+	part.Journal = jpath
+	if _, err := Run(context.Background(), part); err != nil {
+		t.Fatal(err)
+	}
+	// The journal holds the partial run: header + one line per eval.
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(bytes.TrimSpace(raw), []byte("\n")) + 1; lines != 1+4 {
+		t.Fatalf("journal has %d lines, want %d", lines, 1+4)
+	}
+
+	// Resume to the full budget; output must match the reference.
+	res := base
+	res.Journal = jpath
+	res.Resume = true
+	got, err := Run(context.Background(), res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, gb) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, gb)
+	}
+}
+
+// TestResumeAfterCancel kills a run mid-flight with context
+// cancellation, then resumes; wherever the kill landed, the resumed
+// output matches an uninterrupted run.
+func TestResumeAfterCancel(t *testing.T) {
+	pf := platform.New()
+	base := Config{
+		Space:    DefaultSpace(true),
+		Strategy: StrategyRandom,
+		Seed:     7,
+		Sim:      quickSim(),
+		Workers:  2,
+		Platform: pf,
+	}
+	ref, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jpath := filepath.Join(t.TempDir(), "dse.jsonl")
+	killed := base
+	killed.Journal = jpath
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	_, kerr := Run(ctx, killed)
+	cancel()
+	// The kill may land before or after completion; either way the
+	// journal must be resumable.
+	resume := base
+	resume.Journal = jpath
+	resume.Resume = true
+	got, err := Run(context.Background(), resume)
+	if err != nil {
+		t.Fatalf("resume after cancel (%v): %v", kerr, err)
+	}
+	gb, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, gb) {
+		t.Fatalf("post-cancel resume diverged (kill error %v):\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", kerr, want, gb)
+	}
+}
+
+func TestJournalGuards(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "dse.jsonl")
+	cfg := Config{
+		Space:    DefaultSpace(true),
+		Strategy: StrategyGrid,
+		Budget:   2,
+		Sim:      quickSim(),
+		Journal:  jpath,
+	}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running without -resume onto an existing journal must refuse.
+	if _, err := Run(context.Background(), cfg); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("overwrite guard: err = %v", err)
+	}
+	// Resuming under a different sim config must refuse: the journaled
+	// numbers would be stale.
+	diff := cfg
+	diff.Resume = true
+	diff.Sim.MeasureCycles++
+	if _, err := Run(context.Background(), diff); err == nil || !strings.Contains(err.Error(), "different space or simulation config") {
+		t.Fatalf("key guard: err = %v", err)
+	}
+	// A torn trailing line (killed mid-write) is tolerated on resume.
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":5,"ev`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	torn := cfg
+	torn.Resume = true
+	torn.Budget = 4
+	if _, err := Run(context.Background(), torn); err != nil {
+		t.Fatalf("torn trailing line not tolerated: %v", err)
+	}
+	// Feeding a non-journal file to -resume must refuse.
+	alien := filepath.Join(dir, "alien.jsonl")
+	if err := os.WriteFile(alien, []byte(`{"kind":"something-else"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Journal = alien
+	bad.Resume = true
+	if _, err := Run(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "not a dse journal") {
+		t.Fatalf("kind guard: err = %v", err)
+	}
+}

@@ -37,7 +37,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"table1", "table2", "table3", "table4",
 		"abl-superpipeline", "abl-topology", "abl-dynlinks",
 		"abl-snoop", "abl-frontend", "abl-interleave",
-		"fig22-activity", "table4-derived", "faultsweep",
+		"fig22-activity", "table4-derived", "faultsweep", "dse-pareto",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -41,6 +41,19 @@ type Platform struct {
 	repeat   memo[lineKey, wire.Repeated]
 	forward  memo[phys.Kelvin, float64]
 	cores    memo[string, pipeline.CoreSpec]
+	derived  memo[derivedKey, derivedCore]
+}
+
+type derivedKey struct {
+	splits     int
+	analysisOp phys.OperatingPoint
+	op         phys.OperatingPoint
+	sizing     pipeline.Sizing
+}
+
+type derivedCore struct {
+	core pipeline.CoreSpec
+	err  error
 }
 
 type meshKey struct {
@@ -214,6 +227,21 @@ func (p *Platform) CHPCore() pipeline.CoreSpec {
 	return p.cores.get("chpCore", func() pipeline.CoreSpec { return pipeline.CHPCore(p.pipe) })
 }
 
+// DerivedCore returns the memoized core at an arbitrary point of the §4
+// design space: `splits` frontend stages split (ranked at analysisOp),
+// the given sizing recipe, clocked at op. This is the derivation the
+// design-space-exploration engine sweeps; memoizing it means a search
+// revisiting the same (depth, voltage, sizing) triple — across
+// strategies, resumed runs and concurrent candidates — pays the
+// critical-path frequency search exactly once.
+func (p *Platform) DerivedCore(splits int, analysisOp, op phys.OperatingPoint, sz pipeline.Sizing) (pipeline.CoreSpec, error) {
+	d := p.derived.get(derivedKey{splits, analysisOp, op, sz}, func() derivedCore {
+		core, err := pipeline.CustomCore(p.pipe, splits, analysisOp, op, sz)
+		return derivedCore{core, err}
+	})
+	return d.core, d.err
+}
+
 // FrequencyTarget returns the memoized clock of a named Table 3 core
 // column: "baseline300", "superpipeline77", "superpipelineCryoCore77",
 // "cryoSP" or "chpCore".
@@ -245,6 +273,7 @@ func (p *Platform) Stats() CacheStats {
 	s.add(p.repeat.stats())
 	s.add(p.forward.stats())
 	s.add(p.cores.stats())
+	s.add(p.derived.stats())
 	return s
 }
 

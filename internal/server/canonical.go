@@ -1,0 +1,43 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+)
+
+// canonicalKey builds the canonical request description every /v1
+// compute endpoint hashes into its cache key: the endpoint kind
+// followed by the parsed, normalized request fields. Each field is
+// strconv.Quote'd before joining, so no field value can forge the
+// separator or collide with a differently-split request — two calls
+// produce the same key iff kind and every field are equal (see
+// FuzzCanonicalKey). Canonical strings are built from parsed values,
+// never raw query/body bytes, so equivalent spellings of one request
+// ("77" vs "77.0", reordered JSON fields, absent defaults) share an
+// entry.
+func canonicalKey(kind string, fields ...string) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	for _, f := range fields {
+		b.WriteByte('|')
+		b.WriteString(strconv.Quote(f))
+	}
+	return b.String()
+}
+
+// canonInt, canonInt64, canonBool and canonFloat render scalar request
+// fields canonically for canonicalKey.
+func canonInt(v int) string { return strconv.Itoa(v) }
+
+// canonInts renders an int list canonically for cache keys.
+func canonInts(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func canonInt64(v int64) string   { return strconv.FormatInt(v, 10) }
+func canonBool(v bool) string     { return strconv.FormatBool(v) }
+func canonFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

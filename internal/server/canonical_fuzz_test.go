@@ -1,0 +1,42 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalKey checks the property the whole response cache rests
+// on: two requests share a cache key iff their parsed fields are
+// equal. Field values are adversarial — they may contain the
+// separator, quotes, backslashes or another request's rendered key —
+// and must never forge a collision or split differently. (The kind
+// argument is always a compile-time constant at the call sites, so
+// only field values are fuzzed.)
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add("a", "b", "a", "b")
+	f.Add("a|b", "", "a", "|b")
+	f.Add(`a"|"b`, "c", "a", `"|"b|c`)
+	f.Add("simulate", "x264", "simulate|x264", "")
+	f.Add("77", "0.5", "77.0", "0.50")
+	f.Add(`\`, `"`, `\"`, "")
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2 string) {
+		ka := canonicalKey("kind", a1, a2)
+		kb := canonicalKey("kind", b1, b2)
+		if (ka == kb) != (a1 == b1 && a2 == b2) {
+			t.Fatalf("collision/split mismatch:\n(%q,%q) -> %s\n(%q,%q) -> %s", a1, a2, ka, b1, b2, kb)
+		}
+		// Arity must be part of the identity: joining two fields into
+		// one (with any separator the attacker likes) must not land on
+		// the two-field key.
+		for _, joined := range []string{a1 + a2, a1 + "|" + a2, a1 + `"|"` + a2} {
+			if canonicalKey("kind", joined) == ka && a2 != "" {
+				t.Fatalf("one-field %q collides with two-field (%q,%q)", joined, a1, a2)
+			}
+		}
+		// The hashed form inherits the property (sha256 collisions
+		// aside) and is always a fixed-width hex string.
+		if h := hashKey(ka); len(h) != 64 || strings.ToLower(h) != h {
+			t.Fatalf("hashKey(%q) = %q is not lowercase 64-hex", ka, h)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"cryowire"
+	"cryowire/internal/buildinfo"
 	"cryowire/internal/experiments"
 	"cryowire/internal/noc"
 	"cryowire/internal/sim"
@@ -161,9 +162,24 @@ func canonFloats(vs []float64) string {
 
 // --- operational endpoints --------------------------------------------------
 
+// handleHealthz reports liveness plus the same build identification
+// `cryowire -version` prints, so "which build is this instance?" is
+// answerable from the health probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	info := map[string]string{
+		"status":  "ok",
+		"version": buildinfo.Version(),
+		"go":      buildinfo.GoVersion(),
+	}
+	if rev := buildinfo.Revision(); rev != "" {
+		info["revision"] = rev
+	}
+	body, err := marshalBody(info)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, body)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -250,8 +266,8 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorStatus(err), err.Error())
 		return
 	}
-	canonical := fmt.Sprintf("experiment|%s|quick=%t|workers=%d|warmup=%d|measure=%d|seed=%d",
-		id, dto.Quick, opt.Workers, opt.Sim.WarmupCycles, opt.Sim.MeasureCycles, opt.Sim.Seed)
+	canonical := canonicalKey("experiment", id, canonBool(dto.Quick), canonInt(opt.Workers),
+		canonInt(opt.Sim.WarmupCycles), canonInt(opt.Sim.MeasureCycles), canonInt64(opt.Sim.Seed))
 	s.serveCached(w, r, canonical, func(ctx context.Context) ([]byte, error) {
 		rep, err := s.runExperiment(ctx, id, opt)
 		if err != nil {
@@ -337,8 +353,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if dto.Config.Seed != 0 {
 		cfg.Seed = dto.Config.Seed
 	}
-	canonical := fmt.Sprintf("simulate|%s|%s|warmup=%d|measure=%d|seed=%d",
-		d.Name, wl.Name, cfg.WarmupCycles, cfg.MeasureCycles, cfg.Seed)
+	canonical := canonicalKey("simulate", d.Name, wl.Name,
+		canonInt(cfg.WarmupCycles), canonInt(cfg.MeasureCycles), canonInt64(cfg.Seed))
 	s.serveCached(w, r, canonical, func(ctx context.Context) ([]byte, error) {
 		res, err := s.runSimulate(ctx, d, wl, cfg)
 		if err != nil {
@@ -375,7 +391,7 @@ func (s *Server) handleWireSpeedup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorStatus(err), err.Error())
 		return
 	}
-	canonical := fmt.Sprintf("wire-speedup|%s|len=%g|temp=%g|rep=%t", class, lengthMM, tempK, repeated)
+	canonical := canonicalKey("wire-speedup", class, canonFloat(lengthMM), canonFloat(tempK), canonBool(repeated))
 	s.serveCached(w, r, canonical, func(context.Context) ([]byte, error) {
 		speedup, err := cryowire.WireSpeedupAt(class, lengthMM, tempK, repeated)
 		if err != nil {
@@ -420,7 +436,7 @@ func (s *Server) handleNoCLoadLatency(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "rates must list 1–64 injection rates")
 		return
 	}
-	canonical := fmt.Sprintf("noc-load-latency|%s|%s|temp=%g|rates=%s", design, pattern, tempK, canonFloats(rates))
+	canonical := canonicalKey("noc-load-latency", design, pattern, canonFloat(tempK), canonFloats(rates))
 	s.serveCached(w, r, canonical, func(ctx context.Context) ([]byte, error) {
 		pts, err := cryowire.NoCLoadLatencyCtx(ctx, design, pattern, tempK, rates)
 		if err != nil {
@@ -452,7 +468,7 @@ func (s *Server) handleTemperatureSweep(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "temps_k must list 1–256 temperatures")
 		return
 	}
-	canonical := fmt.Sprintf("temperature-sweep|%s", canonFloats(temps))
+	canonical := canonicalKey("temperature-sweep", canonFloats(temps))
 	s.serveCached(w, r, canonical, func(context.Context) ([]byte, error) {
 		pts, err := cryowire.TemperatureSweep(temps)
 		if err != nil {

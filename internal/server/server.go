@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cryowire/internal/dse"
 	"cryowire/internal/experiments"
 	"cryowire/internal/platform"
 	"cryowire/internal/sim"
@@ -108,6 +109,7 @@ type Server struct {
 	// computations without running real physics.
 	runExperiment func(ctx context.Context, id string, opt experiments.Options) (*experiments.Report, error)
 	runSimulate   func(ctx context.Context, d sim.Design, w workload.Profile, cfg sim.Config) (sim.Result, error)
+	runDSE        func(ctx context.Context, cfg dse.Config) (*dse.Result, error)
 }
 
 // New builds a server. The returned server is not yet ready (readyz
@@ -126,6 +128,7 @@ func New(cfg Config) *Server {
 	}
 	s.flights = newFlightGroup(baseCtx, cfg.RequestTimeout)
 	s.runExperiment = experiments.RunCtx
+	s.runDSE = dse.Run
 	s.runSimulate = func(ctx context.Context, d sim.Design, w workload.Profile, cfg sim.Config) (sim.Result, error) {
 		sys, err := sim.New(d, w, cfg.WithContext(ctx))
 		if err != nil {
@@ -153,6 +156,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/experiments", s.admit(http.HandlerFunc(s.handleListExperiments)))
 	mux.Handle("POST /v1/experiments/{id}", s.admit(http.HandlerFunc(s.handleExperiment)))
 	mux.Handle("POST /v1/simulate", s.admit(http.HandlerFunc(s.handleSimulate)))
+	mux.Handle("POST /v1/dse", s.admit(http.HandlerFunc(s.handleDSE)))
 	mux.Handle("GET /v1/wire/speedup", s.admit(http.HandlerFunc(s.handleWireSpeedup)))
 	mux.Handle("GET /v1/noc/load-latency", s.admit(http.HandlerFunc(s.handleNoCLoadLatency)))
 	mux.Handle("GET /v1/temperature-sweep", s.admit(http.HandlerFunc(s.handleTemperatureSweep)))

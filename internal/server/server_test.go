@@ -55,7 +55,8 @@ func TestEndpointStatuses(t *testing.T) {
 		want                       int
 		wantIn                     string // substring of the response body
 	}{
-		{"healthz", "GET", "/healthz", "", 200, "ok"},
+		{"healthz", "GET", "/healthz", "", 200, `"status": "ok"`},
+		{"healthz build info", "GET", "/healthz", "", 200, `"go": "go`},
 		{"readyz ready", "GET", "/readyz", "", 200, "ready"},
 		{"metrics", "GET", "/metrics", "", 200, "cryowire_http_requests_total"},
 		{"list experiments", "GET", "/v1/experiments", "", 200, "\"fig22\""},
@@ -69,6 +70,13 @@ func TestEndpointStatuses(t *testing.T) {
 		{"simulate empty body", "POST", "/v1/simulate", "", 400, "design"},
 		{"simulate unknown design", "POST", "/v1/simulate", `{"design":"nope","workload":"ferret"}`, 404, "unknown design"},
 		{"simulate unknown workload", "POST", "/v1/simulate", `{"design":"CryoSP (77K, Mesh)","workload":"nope"}`, 404, ""},
+		{"dse bad json", "POST", "/v1/dse", "{", 400, "invalid JSON"},
+		{"dse unknown field", "POST", "/v1/dse", `{"strutegy":"grid"}`, 400, "invalid JSON"},
+		{"dse unknown strategy", "POST", "/v1/dse", `{"strategy":"annealing"}`, 400, "unknown strategy"},
+		{"dse negative budget", "POST", "/v1/dse", `{"budget":-1}`, 400, "budget"},
+		{"dse unknown workload", "POST", "/v1/dse", `{"workloads":["nope"]}`, 404, ""},
+		{"dse bad depth", "POST", "/v1/dse", `{"depths":[3]}`, 400, "derivable range"},
+		{"dse over cap", "POST", "/v1/dse", dseOverCapBody(), 400, "server cap"},
 		{"wire missing class", "GET", "/v1/wire/speedup", "", 400, "class is required"},
 		{"wire bad length", "GET", "/v1/wire/speedup?class=local&length_mm=0", "", 400, "length_mm"},
 		{"wire bad number", "GET", "/v1/wire/speedup?class=local&length_mm=x", "", 400, "not a number"},
@@ -524,3 +532,19 @@ func TestExpvarPublished(t *testing.T) {
 
 // Compile-time check that the injectable runner matches the real one.
 var _ func(context.Context, string, experiments.Options) (*experiments.Report, error) = experiments.RunCtx
+
+// dseOverCapBody builds a /v1/dse request whose space exceeds the
+// server's evaluation cap (the full default space is 576 points, so it
+// takes a long temperature axis to blow past 4096).
+func dseOverCapBody() string {
+	var b strings.Builder
+	b.WriteString(`{"temps_k":[`)
+	for i := 0; i < 30; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", 77+i)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}

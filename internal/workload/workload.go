@@ -8,7 +8,10 @@
 // per-suite injection bands of Fig 18 and published characterizations.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Suite identifies the benchmark suite a profile belongs to.
 type Suite int
@@ -83,11 +86,34 @@ type Profile struct {
 	LockMPKI float64
 }
 
-// Validate checks profile plausibility.
+// Validate checks profile plausibility: positive ILP, non-negative
+// event rates, share fractions inside [0,1], and no NaNs anywhere — a
+// NaN rate would silently poison every downstream statistic instead of
+// failing at the boundary.
 func (p Profile) Validate() error {
+	for _, f := range []struct {
+		name  string
+		value float64
+	}{
+		{"ILP", p.ILP},
+		{"BranchMPKI", p.BranchMPKI},
+		{"L1MPKI", p.L1MPKI},
+		{"L2MPKI", p.L2MPKI},
+		{"L3MissRatio", p.L3MissRatio},
+		{"SharedFraction", p.SharedFraction},
+		{"MLP", p.MLP},
+		{"BarriersPerMI", p.BarriersPerMI},
+		{"LockMPKI", p.LockMPKI},
+	} {
+		if math.IsNaN(f.value) || math.IsInf(f.value, 0) {
+			return fmt.Errorf("workload %s: %s is %v", p.Name, f.name, f.value)
+		}
+	}
 	switch {
 	case p.ILP <= 0:
 		return fmt.Errorf("workload %s: non-positive ILP", p.Name)
+	case p.BranchMPKI < 0:
+		return fmt.Errorf("workload %s: negative BranchMPKI", p.Name)
 	case p.L2MPKI < 0 || p.L1MPKI < 0:
 		return fmt.Errorf("workload %s: negative MPKI", p.Name)
 	case p.L3MissRatio < 0 || p.L3MissRatio > 1:
@@ -98,6 +124,19 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload %s: MLP %v below 1", p.Name, p.MLP)
 	case p.BarriersPerMI < 0:
 		return fmt.Errorf("workload %s: negative barrier rate", p.Name)
+	case p.LockMPKI < 0:
+		return fmt.Errorf("workload %s: negative LockMPKI", p.Name)
+	}
+	return nil
+}
+
+// ValidateAll validates every profile in the list, failing on the
+// first offender.
+func ValidateAll(ps []Profile) error {
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -186,5 +188,60 @@ func TestValidateCatchesBadProfiles(t *testing.T) {
 		if err := p.Validate(); err == nil {
 			t.Errorf("Validate(%s) should fail", p.Name)
 		}
+	}
+}
+
+// TestValidateRejects table-drives the boundary checks: every way a
+// profile can be implausible must be caught with a pointed error.
+func TestValidateRejects(t *testing.T) {
+	valid := func() Profile {
+		return Profile{Name: "probe", ILP: 2, BranchMPKI: 8, L1MPKI: 10, L2MPKI: 2,
+			L3MissRatio: 0.3, SharedFraction: 0.4, MLP: 3, BarriersPerMI: 5, LockMPKI: 0.2}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("baseline probe profile invalid: %v", err)
+	}
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+		want   string
+	}{
+		{"zero ILP", func(p *Profile) { p.ILP = 0 }, "non-positive ILP"},
+		{"negative ILP", func(p *Profile) { p.ILP = -1 }, "non-positive ILP"},
+		{"negative BranchMPKI", func(p *Profile) { p.BranchMPKI = -2 }, "negative BranchMPKI"},
+		{"negative L1MPKI", func(p *Profile) { p.L1MPKI = -1 }, "negative MPKI"},
+		{"negative L2MPKI", func(p *Profile) { p.L2MPKI = -1 }, "negative MPKI"},
+		{"L3MissRatio above 1", func(p *Profile) { p.L3MissRatio = 1.5 }, "outside [0,1]"},
+		{"L3MissRatio negative", func(p *Profile) { p.L3MissRatio = -0.1 }, "outside [0,1]"},
+		{"SharedFraction above 1", func(p *Profile) { p.SharedFraction = 2 }, "outside [0,1]"},
+		{"MLP below 1", func(p *Profile) { p.MLP = 0.5 }, "below 1"},
+		{"negative barriers", func(p *Profile) { p.BarriersPerMI = -1 }, "negative barrier rate"},
+		{"negative LockMPKI", func(p *Profile) { p.LockMPKI = -0.1 }, "negative LockMPKI"},
+		{"NaN ILP", func(p *Profile) { p.ILP = nan }, "ILP is NaN"},
+		{"NaN LockMPKI", func(p *Profile) { p.LockMPKI = nan }, "LockMPKI is NaN"},
+		{"NaN L2MPKI", func(p *Profile) { p.L2MPKI = nan }, "L2MPKI is NaN"},
+		{"Inf MLP", func(p *Profile) { p.MLP = math.Inf(1) }, "MLP is +Inf"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid()
+			tc.mutate(&p)
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	if err := ValidateAll(allProfiles()); err != nil {
+		t.Fatalf("built-in suites: %v", err)
+	}
+	bad := allProfiles()
+	bad[3].LockMPKI = -1
+	if err := ValidateAll(bad); err == nil {
+		t.Fatal("ValidateAll accepted a corrupted profile")
 	}
 }

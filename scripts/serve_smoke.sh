@@ -43,8 +43,10 @@ post() { # post <url> <json-body> — POST with curl, falling back to wget
 
 echo "serve-smoke: serving on $URL"
 
-# 1. Operational endpoints answer.
-[ "$(fetch "$URL/healthz")" = "ok" ] || { echo "serve-smoke: /healthz broken"; exit 1; }
+# 1. Operational endpoints answer. /healthz is JSON carrying the same
+# build info as `cryowire -version`.
+fetch "$URL/healthz" | grep -q '"status": "ok"' || { echo "serve-smoke: /healthz broken"; exit 1; }
+fetch "$URL/healthz" | grep -q '"go": "go' || { echo "serve-smoke: /healthz missing build info"; exit 1; }
 [ "$(fetch "$URL/readyz")" = "ready" ] || { echo "serve-smoke: /readyz broken"; exit 1; }
 fetch "$URL/metrics" | grep -q cryowire_platform_cache_misses_total || {
     echo "serve-smoke: /metrics missing platform cache series"; exit 1; }
@@ -58,7 +60,16 @@ if ! cmp -s "$TMP/server.json" "$TMP/cli.json"; then
     exit 1
 fi
 
-# 3. Graceful shutdown: SIGTERM must drain and exit cleanly.
+# 3. The design-space endpoint must match `cryowire dse -json` too.
+post "$URL/v1/dse" '{"quick":true,"budget":4,"strategy":"random","seed":7}' >"$TMP/server-dse.json"
+"$TMP/cryowire" dse -quick -budget 4 -strategy random -seed 7 -json >"$TMP/cli-dse.json"
+if ! cmp -s "$TMP/server-dse.json" "$TMP/cli-dse.json"; then
+    echo "serve-smoke: /v1/dse differs from 'cryowire dse -quick -budget 4 -strategy random -seed 7 -json':"
+    diff "$TMP/cli-dse.json" "$TMP/server-dse.json" || true
+    exit 1
+fi
+
+# 4. Graceful shutdown: SIGTERM must drain and exit cleanly.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "serve-smoke: server exited non-zero on SIGTERM"; cat "$TMP/serve.log"; exit 1; }
 grep -q drained "$TMP/serve.log" || { echo "serve-smoke: no drain log line"; cat "$TMP/serve.log"; exit 1; }
