@@ -11,10 +11,14 @@
 #                      endpoint's JSON against the CLI's -json output
 #   make bench       - Go benchmarks + serial-vs-parallel engine timing
 #                      and server hot/cold throughput (writes BENCH_platform.json)
+#                      + the hot-path harness below
+#   make bench-sim   - hot-path perf harness: cycle-loop, solver and
+#                      quick-sweep numbers (writes BENCH_sim.json; see
+#                      DESIGN.md "Performance")
 
 GO ?= go
 
-.PHONY: all build test vet race check bench serve-smoke
+.PHONY: all build test vet race check bench bench-sim serve-smoke
 
 all: check
 
@@ -35,6 +39,9 @@ serve-smoke: build
 
 check: vet build race serve-smoke
 
-bench:
+bench: bench-sim
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/benchplatform -quick -o BENCH_platform.json
+
+bench-sim:
+	$(GO) run ./cmd/benchsim -o BENCH_sim.json

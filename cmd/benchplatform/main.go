@@ -33,18 +33,22 @@ import (
 )
 
 type result struct {
-	Cores          int     `json:"cores"`
-	Workers        int     `json:"workers"`
-	Quick          bool    `json:"quick"`
-	Experiments    int     `json:"experiments"`
-	SerialSeconds  float64 `json:"serial_seconds"`
-	ParallelSecs   float64 `json:"parallel_seconds"`
-	Speedup        float64 `json:"speedup"`
-	ByteIdentical  bool    `json:"byte_identical"`
-	CacheHits      uint64  `json:"platform_cache_hits"`
-	CacheMisses    uint64  `json:"platform_cache_misses"`
-	FailedSerial   int     `json:"failed_serial"`
-	FailedParallel int     `json:"failed_parallel"`
+	Cores         int     `json:"cores"`
+	Workers       int     `json:"workers"`
+	Quick         bool    `json:"quick"`
+	Experiments   int     `json:"experiments"`
+	SerialSeconds float64 `json:"serial_seconds"`
+	ParallelSecs  float64 `json:"parallel_seconds"`
+	// Speedup is serial/parallel wall time. Omitted (null) when the pool
+	// has a single worker — a 1-worker "parallel" leg only measures pool
+	// overhead, and reporting its ratio as a speedup misled readers on
+	// single-core machines. See EXPERIMENTS.md "Platform benchmark".
+	Speedup        *float64 `json:"speedup,omitempty"`
+	ByteIdentical  bool     `json:"byte_identical"`
+	CacheHits      uint64   `json:"platform_cache_hits"`
+	CacheMisses    uint64   `json:"platform_cache_misses"`
+	FailedSerial   int      `json:"failed_serial"`
+	FailedParallel int      `json:"failed_parallel"`
 
 	// HTTP service layer: a cold request computes the experiment, hot
 	// requests are served from the response LRU.
@@ -146,7 +150,6 @@ func main() {
 		Experiments:    len(experiments.IDs()),
 		SerialSeconds:  serialDur.Seconds(),
 		ParallelSecs:   parDur.Seconds(),
-		Speedup:        serialDur.Seconds() / parDur.Seconds(),
 		ByteIdentical:  serialBlob == parBlob,
 		CacheHits:      stats.Hits,
 		CacheMisses:    stats.Misses,
@@ -155,6 +158,10 @@ func main() {
 
 		ServerColdSeconds: cold,
 		ServerHotRPS:      hotRPS,
+	}
+	if workers > 1 {
+		sp := serialDur.Seconds() / parDur.Seconds()
+		r.Speedup = &sp
 	}
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

@@ -1,0 +1,166 @@
+// Command benchsim is the perf-regression harness for the hot-path
+// engine: it benchmarks the simulator cycle loop (mesh and bus), the
+// transient circuit solver, and one end-to-end quick sweep of the full
+// experiment registry, and writes the numbers to BENCH_sim.json.
+// `make bench-sim` runs it; CI runs it non-blocking and uploads the
+// JSON so regressions are visible per-commit. See DESIGN.md
+// "Performance" for how to read the fields.
+//
+// Usage:
+//
+//	benchsim [-o BENCH_sim.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cryowire/internal/circuit"
+	"cryowire/internal/experiments"
+	"cryowire/internal/phys"
+	"cryowire/internal/sim"
+	"cryowire/internal/wire"
+	"cryowire/internal/workload"
+)
+
+// stepBench summarizes one cycle-loop benchmark.
+type stepBench struct {
+	// NSPerCycle is wall time per simulated NoC cycle.
+	NSPerCycle float64 `json:"ns_per_cycle"`
+	// AllocsPerCycle is heap allocations per simulated cycle; the pooled
+	// engine holds this at (amortized) zero.
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	Cycles         int64   `json:"cycles"`
+}
+
+type report struct {
+	Cores     int    `json:"cores"`
+	GoVersion string `json:"go_version"`
+
+	// SystemStep is the flagship mesh design (CHP mesh / ferret);
+	// BusStep the snooping CryoBus (streamcluster).
+	SystemStep stepBench `json:"system_step"`
+	BusStep    stepBench `json:"bus_step"`
+
+	// SolverNSPerOp is one pooled Ladder.Delay50 solve of the
+	// representative 40-segment repeater stage; allocs must be 0 after
+	// warm-up.
+	SolverNSPerOp     float64 `json:"solver_ns_per_op"`
+	SolverAllocsPerOp float64 `json:"solver_allocs_per_op"`
+
+	// QuickSweepSeconds is the end-to-end serial wall time of the full
+	// experiment registry in quick mode — directly comparable to
+	// BENCH_platform.json's serial_seconds.
+	QuickSweepSeconds float64 `json:"quick_sweep_seconds"`
+	QuickSweepFailed  int     `json:"quick_sweep_failed"`
+}
+
+// newSystem builds a warmed system exactly like the in-package Go
+// benchmarks (internal/sim/bench_test.go) so the two harnesses agree.
+func newSystem(mk func(*sim.Factory) sim.Design, wl string) (*sim.System, error) {
+	p, err := workload.ByName(wl)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(mk(sim.NewFactory()), p, sim.Config{WarmupCycles: 1, MeasureCycles: 1, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4000; i++ {
+		s.Step()
+	}
+	return s, nil
+}
+
+// benchStep measures the steady-state cycle loop of one design.
+func benchStep(mk func(*sim.Factory) sim.Design, wl string) (stepBench, error) {
+	s, err := newSystem(mk, wl)
+	if err != nil {
+		return stepBench{}, err
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+	return stepBench{
+		NSPerCycle:     float64(r.NsPerOp()),
+		AllocsPerCycle: float64(r.AllocsPerOp()),
+		BytesPerCycle:  float64(r.AllocedBytesPerOp()),
+		Cycles:         int64(r.N),
+	}, nil
+}
+
+func run(out string) error {
+	rep := report{Cores: runtime.NumCPU(), GoVersion: runtime.Version()}
+
+	var err error
+	rep.SystemStep, err = benchStep(func(f *sim.Factory) sim.Design { return f.CHPMesh() }, "ferret")
+	if err != nil {
+		return fmt.Errorf("system step: %v", err)
+	}
+	rep.BusStep, err = benchStep(func(f *sim.Factory) sim.Design { return f.CryoSPCryoBus() }, "streamcluster")
+	if err != nil {
+		return fmt.Errorf("bus step: %v", err)
+	}
+
+	// Solver: the representative repeater-stage ladder SimulateLinkDelay
+	// solves thousands of times per sweep (same shape as the in-package
+	// BenchmarkDelay50).
+	ladder := circuit.WireLadder(
+		wire.Line{Spec: wire.Global, LengthMM: 1.0, Driver: wire.CryoBusLink().Driver, DriverSize: 1},
+		wire.At77(), phys.DefaultMOSFET(), 40)
+	if _, err := ladder.Delay50(); err != nil {
+		return fmt.Errorf("solver: %v", err)
+	}
+	sr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ladder.Delay50(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SolverNSPerOp = float64(sr.NsPerOp())
+	rep.SolverAllocsPerOp = float64(sr.AllocsPerOp())
+
+	// End-to-end: the full registry, serial, quick mode.
+	start := time.Now()
+	for _, oc := range experiments.RunAll(experiments.QuickOptions()) {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "benchsim: %s: %v\n", oc.ID, oc.Err)
+			rep.QuickSweepFailed++
+		}
+	}
+	rep.QuickSweepSeconds = time.Since(start).Seconds()
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s", b)
+	if rep.QuickSweepFailed > 0 {
+		return fmt.Errorf("%d experiments failed during the quick sweep", rep.QuickSweepFailed)
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output file")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"syscall"
 
@@ -48,6 +50,8 @@ func main() {
 	version := flag.Bool("version", false, "print build information and exit")
 	parallel := flag.Bool("parallel", false, "fan experiments out over all CPUs (output is identical to a serial run)")
 	workers := flag.Int("workers", 0, "exact worker count for -parallel (default: all CPUs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.BoolVar(&jsonOut, "json", false, "emit reports as JSON instead of text tables")
 	flag.Usage = usage
 	flag.Parse()
@@ -68,6 +72,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if err := validateProfileFlags(*cpuprofile, *memprofile, false); err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire: %v\n", err)
+		usage()
+		os.Exit(2)
+	}
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire: %v\n", err)
+		os.Exit(2)
+	}
+	// Profiles must flush even on failure exits; os.Exit skips defers.
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
+	defer stopProf()
 	opt := experiments.DefaultOptions()
 	if *quick {
 		opt = experiments.QuickOptions()
@@ -94,7 +114,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cryowire: %q cannot be combined with other experiment IDs (got %v)\n",
 				arg, flag.Args()[1:])
 			usage()
-			os.Exit(2)
+			exit(2)
 		}
 	}
 	switch arg {
@@ -124,7 +144,7 @@ func main() {
 		if len(failed) > 0 {
 			fmt.Fprintf(os.Stderr, "cryowire: %d of %d experiments failed: %v\n",
 				len(failed), len(experiments.IDs()), failed)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "cryowire: all %d experiments completed\n", len(experiments.IDs()))
 		return
@@ -132,9 +152,77 @@ func main() {
 		for _, id := range flag.Args() {
 			if err := runOne(ctx, id, opt); err != nil {
 				fmt.Fprintf(os.Stderr, "cryowire: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
+	}
+}
+
+// validateProfileFlags rejects bad -cpuprofile/-memprofile combinations
+// before any work starts: unwritable paths (probed by creating the
+// file, exactly as the profiler will), the two profiles aimed at the
+// same file, and CPU profiling combined with serve's -pprof endpoint —
+// runtime CPU profiling is exclusive, so a /debug/pprof/profile fetch
+// would fail mid-serve with the file profiler holding it.
+func validateProfileFlags(cpuprofile, memprofile string, pprofEnabled bool) error {
+	if cpuprofile != "" && pprofEnabled {
+		return fmt.Errorf("-cpuprofile cannot be combined with -pprof (CPU profiling is exclusive; use the /debug/pprof/profile endpoint instead)")
+	}
+	if cpuprofile != "" && cpuprofile == memprofile {
+		return fmt.Errorf("-cpuprofile and -memprofile point at the same file %q", cpuprofile)
+	}
+	for _, p := range []string{cpuprofile, memprofile} {
+		if p == "" {
+			continue
+		}
+		f, err := os.OpenFile(p, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("profile path not writable: %v", err)
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// startProfiles begins CPU profiling (if requested) and returns a stop
+// function that ends it and writes the heap profile (if requested).
+// Call validateProfileFlags first. The stop function is never nil and
+// is safe to call once from every exit path that follows it.
+func startProfiles(cpuprofile, memprofile string) (func(), error) {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %v", err)
+		}
+		return func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			writeHeapProfile(memprofile)
+		}, nil
+	}
+	return func() { writeHeapProfile(memprofile) }, nil
+}
+
+// writeHeapProfile snapshots the heap after a GC (so the profile shows
+// live objects, not garbage). A failure is reported but never fatal —
+// the run's real output already happened.
+func writeHeapProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire: -memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire: -memprofile: %v\n", err)
 	}
 }
 
@@ -147,9 +235,12 @@ func serveMain(args []string) int {
 	cacheBytes := fs.Int64("cache-bytes", 0, "response cache byte bound (default 64 MiB)")
 	timeout := fs.Duration("timeout", 0, "per-request computation deadline (default 10m)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the server's lifetime to this file (incompatible with -pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile at shutdown to this file")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: cryowire serve [-addr :8080] [-max-inflight n] [-cache-entries n]
                       [-cache-bytes n] [-timeout d] [-pprof]
+                      [-cpuprofile f] [-memprofile f]
 
 Serves the experiment registry, the full-system simulator and the
 facade sweeps as a JSON HTTP API (see README "Serving"). SIGINT/SIGTERM
@@ -173,6 +264,17 @@ drain in-flight requests before exiting.
 		fs.Usage()
 		return 2
 	}
+	if err := validateProfileFlags(*cpuprofile, *memprofile, *enablePprof); err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire serve: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+	stopProf, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire serve: %v\n", err)
+		return 2
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -231,7 +333,8 @@ func emit(r *experiments.Report) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: cryowire [-quick] [-json] [-parallel] [-workers n] <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: cryowire [-quick] [-json] [-parallel] [-workers n]
+                [-cpuprofile f] [-memprofile f] <experiment>...
        cryowire list | all
        cryowire serve [-addr :8080] [flags]
        cryowire dse [flags]
@@ -251,6 +354,10 @@ the output is byte-identical to a serial run.
 "dse" searches the cryogenic design space (temperature x voltage mode x
 pipeline depth x interconnect x workload) and reports the Pareto
 frontier; see `+"`cryowire dse -h`"+`.
+
+-cpuprofile and -memprofile write runtime/pprof profiles of the run
+(CPU over the whole invocation; heap snapshotted after a GC at exit)
+for inspection with `+"`go tool pprof`"+`.
 
 -version prints the module version, Go toolchain and VCS revision
 embedded by the Go build (debug.ReadBuildInfo); /healthz on the server

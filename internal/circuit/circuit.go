@@ -10,6 +10,7 @@ package circuit
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cryowire/internal/phys"
 	"cryowire/internal/wire"
@@ -47,20 +48,101 @@ func (ld Ladder) ElmoreDelay() float64 {
 	return 0.69*ld.RDrive*(ld.CTotal+ld.CLoad) + ld.RTotal*(0.38*ld.CTotal+0.69*ld.CLoad)
 }
 
+// maxSteps bounds one transient integration; a healthy ladder crosses
+// 50 % within a few thousand steps of its Elmore-derived timestep.
+const maxSteps = 20_000_000
+
+// Early-exit tuning: once the far-end increment has been non-increasing
+// for monotoneWindow consecutive steps, the response is past its
+// inflection and future increments are bounded by the current one; if
+// even noCrossMargin× the remaining-step budget at that rate cannot
+// reach 50 %, the run is declared hopeless without grinding out the
+// remaining millions of steps.
+const (
+	monotoneWindow = 64
+	noCrossMargin  = 4.0
+)
+
+// ErrNoCrossing reports a transient run that ended without the far end
+// reaching 50 % of the final value — either maxSteps elapsed, or the
+// monotonicity check proved the crossing unreachable. It typically
+// means the Elmore-derived timestep is pathologically mismatched to the
+// true dominant time constant (e.g. a near-zero driver resistance with
+// an enormous load).
+type ErrNoCrossing struct {
+	// Steps is how many trapezoidal steps were taken before giving up.
+	Steps int
+	// LastVoltage is the far-end voltage (of a 1.0 final value) when the
+	// run stopped.
+	LastVoltage float64
+}
+
+// Error implements error.
+func (e *ErrNoCrossing) Error() string {
+	return fmt.Sprintf("circuit: no 50%% crossing within %d steps (far end at %.3g of final value)", e.Steps, e.LastVoltage)
+}
+
+// Solver integrates ladder step responses using the implicit
+// trapezoidal rule (A-stable, second order) with a tridiagonal (Thomas)
+// solve per step. It owns the per-node scratch vectors, which are grown
+// once and reused: after the first call at a given size, Delay50
+// allocates nothing. A Solver is not safe for concurrent use; either
+// keep one per goroutine or use the pooled Ladder.Delay50.
+type Solver struct {
+	caps, res, g, b []float64
+	v, diag         []float64
+	rhs, cp, dp     []float64
+	off             []float64
+}
+
+// NewSolver returns an empty solver; scratch grows on first use.
+func NewSolver() *Solver { return &Solver{} }
+
+// grow sizes every scratch vector for an n-segment ladder.
+func (s *Solver) grow(n int) {
+	if cap(s.caps) < n+1 {
+		s.caps = make([]float64, n+1)
+		s.res = make([]float64, n+1)
+		s.g = make([]float64, n+1)
+		s.b = make([]float64, n+1)
+		s.v = make([]float64, n+1)
+		s.diag = make([]float64, n+1)
+		s.rhs = make([]float64, n+1)
+		s.cp = make([]float64, n+1)
+		s.dp = make([]float64, n+1)
+		s.off = make([]float64, n)
+		return
+	}
+	s.caps = s.caps[:n+1]
+	s.res = s.res[:n+1]
+	s.g = s.g[:n+1]
+	s.b = s.b[:n+1]
+	s.v = s.v[:n+1]
+	s.diag = s.diag[:n+1]
+	s.rhs = s.rhs[:n+1]
+	s.cp = s.cp[:n+1]
+	s.dp = s.dp[:n+1]
+	s.off = s.off[:n]
+}
+
 // Delay50 integrates the ladder's step response and returns the time at
-// which the far-end node crosses 50 % of the final value. The solver
-// uses the implicit trapezoidal rule (A-stable, second order) with a
-// tridiagonal (Thomas) solve per step; linear interpolation locates the
-// crossing inside the final step.
-func (ld Ladder) Delay50() (float64, error) {
+// which the far-end node crosses 50 % of the final value; linear
+// interpolation locates the crossing inside the final step. A run that
+// provably cannot cross returns *ErrNoCrossing. The arithmetic is
+// identical on fresh and reused scratch (every vector the integration
+// reads is fully rewritten or re-zeroed here), so results are
+// bit-identical regardless of solver reuse.
+func (s *Solver) Delay50(ld Ladder) (float64, error) {
 	if err := ld.Validate(); err != nil {
 		return 0, err
 	}
 	n := ld.Segments
+	s.grow(n)
+	caps, res, g, off, b := s.caps, s.res, s.g, s.off, s.b
+	v, diag, rhs, cp, dp := s.v, s.diag, s.rhs, s.cp, s.dp
 	// Node capacitances: the distributed wire cap splits into half
 	// segments at each internal boundary; the far end adds the load.
 	cseg := ld.CTotal / float64(n)
-	caps := make([]float64, n+1)
 	caps[0] = cseg / 2
 	for i := 1; i < n; i++ {
 		caps[i] = cseg
@@ -78,7 +160,6 @@ func (ld Ladder) Delay50() (float64, error) {
 	}
 	// Resistances between node i-1 and i (node -1 is the source through
 	// the driver).
-	res := make([]float64, n+1)
 	res[0] = ld.RDrive
 	for i := 1; i <= n; i++ {
 		res[i] = rseg
@@ -96,8 +177,6 @@ func (ld Ladder) Delay50() (float64, error) {
 
 	// Trapezoidal: (C/dt + G/2)·v_{k+1} = (C/dt − G/2)·v_k + b, where G
 	// is the (tridiagonal) conductance matrix and b the source vector.
-	g := make([]float64, n+1) // diagonal of G
-	off := make([]float64, n) // off-diagonal: −1/res[i+1] between node i,i+1
 	for i := 0; i <= n; i++ {
 		g[i] = 1 / res[i]
 		if i < n {
@@ -106,18 +185,17 @@ func (ld Ladder) Delay50() (float64, error) {
 		}
 	}
 	src := 1.0 // unit step
-	b := make([]float64, n+1)
 	b[0] = src / res[0]
+	for i := 1; i <= n; i++ {
+		b[i] = 0
+	}
+	for i := range v {
+		v[i] = 0
+	}
 
-	v := make([]float64, n+1)
-	// Scratch for the Thomas solve.
-	diag := make([]float64, n+1)
-	rhs := make([]float64, n+1)
-	cp := make([]float64, n+1)
-	dp := make([]float64, n+1)
-
-	maxSteps := 20_000_000
 	prev := 0.0
+	prevDv := math.Inf(1)
+	decRun := 0
 	for step := 1; step <= maxSteps; step++ {
 		// Build rhs = (C/dt − G/2)·v + b.
 		for i := 0; i <= n; i++ {
@@ -135,10 +213,7 @@ func (ld Ladder) Delay50() (float64, error) {
 		cp[0] = off[0] / 2 / diag[0]
 		dp[0] = rhs[0] / diag[0]
 		for i := 1; i <= n; i++ {
-			var lower float64
-			if i <= n {
-				lower = off[i-1] / 2
-			}
+			lower := off[i-1] / 2
 			den := diag[i] - lower*cp[i-1]
 			if i < n {
 				cp[i] = off[i] / 2 / den
@@ -154,9 +229,41 @@ func (ld Ladder) Delay50() (float64, error) {
 			frac := (0.5*src - prev) / (v[n] - prev)
 			return (float64(step-1) + frac) * dt, nil
 		}
+		// Hopelessness check: the far-end step response is monotone with
+		// a decreasing increment past its inflection. Once the increment
+		// has been non-increasing for a full window, future steps gain at
+		// most dv each — if even noCrossMargin× the remaining budget at
+		// that rate cannot reach 50 % (or the increment has died to zero
+		// in floating point), no crossing will ever happen and the
+		// remaining millions of steps are skipped.
+		dv := v[n] - prev
+		if dv <= prevDv {
+			decRun++
+		} else {
+			decRun = 0
+		}
+		prevDv = dv
+		if decRun >= monotoneWindow &&
+			(dv <= 0 || 0.5*src-v[n] > float64(maxSteps-step)*dv*noCrossMargin) {
+			return 0, &ErrNoCrossing{Steps: step, LastVoltage: v[n]}
+		}
 		prev = v[n]
 	}
-	return 0, fmt.Errorf("circuit: no 50%% crossing within %d steps", maxSteps)
+	return 0, &ErrNoCrossing{Steps: maxSteps, LastVoltage: prev}
+}
+
+// solverPool backs the convenience Ladder.Delay50 so hot callers (the
+// platform derivation cache, sweeps) reuse scratch without threading a
+// Solver through every call site.
+var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+
+// Delay50 integrates the ladder's step response using a pooled Solver;
+// see Solver.Delay50. After warm-up this path allocates nothing.
+func (ld Ladder) Delay50() (float64, error) {
+	s := solverPool.Get().(*Solver)
+	d, err := s.Delay50(ld)
+	solverPool.Put(s)
+	return d, err
 }
 
 // WireLadder builds the ladder for a driven wire line at the operating

@@ -1,7 +1,9 @@
 package circuit
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -144,5 +146,73 @@ func TestDelayPositiveAndFinite(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSolverReuseBitIdentical(t *testing.T) {
+	// A reused solver must produce bit-identical results to a fresh one:
+	// every vector the integration reads is rewritten or re-zeroed per
+	// call, so scratch contents from earlier ladders cannot leak in.
+	ladders := []Ladder{
+		{RDrive: 1000, RTotal: 1e-9, CTotal: 0, CLoad: 1e-12, Segments: 1},
+		{RDrive: 500, RTotal: 5000, CTotal: 400e-15, CLoad: 20e-15, Segments: 40},
+		{RDrive: 200, RTotal: 800, CTotal: 150e-15, CLoad: 5e-15, Segments: 7},
+	}
+	s := NewSolver()
+	for round := 0; round < 2; round++ {
+		for _, ld := range ladders {
+			fresh, err := NewSolver().Delay50(ld)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err := s.Delay50(ld)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fresh != reused {
+				t.Errorf("round %d ladder %+v: reused solver %v != fresh %v", round, ld, reused, fresh)
+			}
+		}
+	}
+}
+
+func TestSolverZeroSteadyStateAllocs(t *testing.T) {
+	// The zero-alloc contract of the perf harness: after warm-up a
+	// solver's Delay50 must not allocate at all.
+	s := NewSolver()
+	if _, err := s.Delay50(benchLadder); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Delay50(benchLadder); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warmed Solver.Delay50 allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestNoCrossingTypedError(t *testing.T) {
+	// A near-zero driver resistance with a huge load makes the
+	// Elmore-derived timestep pathologically small relative to the true
+	// time constant through the rseg fallback: the far end crawls and
+	// never reaches 50 % within the step budget. The solver must report
+	// a typed diagnosis — and via the early exit, not by grinding out
+	// all 20M steps.
+	ld := Ladder{RDrive: 1e-12, RTotal: 0, CTotal: 1, CLoad: 0, Segments: 1}
+	_, err := ld.Delay50()
+	var nc *ErrNoCrossing
+	if !errors.As(err, &nc) {
+		t.Fatalf("pathological ladder returned %v, want *ErrNoCrossing", err)
+	}
+	if nc.Steps <= 0 || nc.Steps >= maxSteps {
+		t.Errorf("Steps = %d, want an early exit in (0, %d)", nc.Steps, maxSteps)
+	}
+	if nc.LastVoltage <= 0 || nc.LastVoltage >= 0.5 {
+		t.Errorf("LastVoltage = %v, want in (0, 0.5)", nc.LastVoltage)
+	}
+	if !strings.Contains(nc.Error(), "no 50% crossing") {
+		t.Errorf("diagnosis %q lacks the crossing message", nc.Error())
 	}
 }

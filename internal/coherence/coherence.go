@@ -82,6 +82,16 @@ type Transaction struct {
 	CacheToCache bool
 }
 
+// reset clears the transaction for reuse, keeping the slice capacity so
+// a recycled Transaction appends without allocating.
+func (tx *Transaction) reset() {
+	tx.Legs = tx.Legs[:0]
+	tx.Invalidations = tx.Invalidations[:0]
+	tx.L3Access = false
+	tx.DRAM = false
+	tx.CacheToCache = false
+}
+
 // line is the tracked global state of one cache line. Sharers are a
 // bitset so iteration is deterministic (simulation reproducibility).
 type line struct {
@@ -109,17 +119,6 @@ func (b *bitset) count() int {
 	return n
 }
 
-// each calls f for every set bit in ascending order.
-func (b *bitset) each(f func(i int)) {
-	for wi, w := range b {
-		for w != 0 {
-			i := wi*64 + trailingZeros(w)
-			f(i)
-			w &= w - 1
-		}
-	}
-}
-
 func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
 
 // Directory is the home-node-based MESI protocol engine. One Directory
@@ -141,16 +140,22 @@ func NewDirectory(capLines int) *Directory {
 	return &Directory{lines: make(map[uint64]*line), capLines: capLines}
 }
 
-// get fetches or creates the line entry.
+// get fetches or creates the line entry. At capacity the oldest line is
+// evicted and its entry recycled, so a full directory churns addresses
+// without allocating.
 func (d *Directory) get(addr uint64) *line {
 	l, ok := d.lines[addr]
 	if !ok {
 		for len(d.lines) >= d.capLines && len(d.order) > 0 {
 			victim := d.order[0]
 			d.order = d.order[1:]
+			l = d.lines[victim]
 			delete(d.lines, victim)
 		}
-		l = &line{state: Invalid, owner: -1}
+		if l == nil {
+			l = &line{}
+		}
+		*l = line{state: Invalid, owner: -1}
 		d.lines[addr] = l
 		d.order = append(d.order, addr)
 	}
@@ -171,8 +176,18 @@ func (d *Directory) State(addr uint64) (State, int, int) {
 // sequence. l3Hit tells the protocol whether the home L3 slice holds
 // the line when no cache owns it.
 func (d *Directory) Access(addr uint64, core, home int, write, l3Hit bool) Transaction {
+	var tx Transaction
+	d.AccessInto(&tx, addr, core, home, write, l3Hit)
+	return tx
+}
+
+// AccessInto is Access writing into a caller-owned Transaction: the
+// transaction is reset and its slices reused, so a caller that recycles
+// Transactions (the simulator's txn pool) generates no garbage per
+// access. The produced sequence is identical to Access.
+func (d *Directory) AccessInto(tx *Transaction, addr uint64, core, home int, write, l3Hit bool) {
 	l := d.get(addr)
-	tx := Transaction{}
+	tx.reset()
 	req := Leg{From: core, To: home, Kind: Request}
 	tx.Legs = append(tx.Legs, req)
 	switch l.state {
@@ -218,12 +233,17 @@ func (d *Directory) Access(addr uint64, core, home int, write, l3Hit bool) Trans
 	case Shared:
 		if write {
 			// Invalidate every sharer; the requester's data waits for
-			// all acks.
-			l.sharers.each(func(s int) {
-				if s != core {
-					tx.Invalidations = append(tx.Invalidations, Leg{From: home, To: s, Kind: Invalidate})
+			// all acks. Iterated inline (ascending, like bitset.each) so
+			// the hot path carries no escaping closure.
+			for wi, w := range l.sharers {
+				for w != 0 {
+					sh := wi*64 + trailingZeros(w)
+					w &= w - 1
+					if sh != core {
+						tx.Invalidations = append(tx.Invalidations, Leg{From: home, To: sh, Kind: Invalidate})
+					}
 				}
-			})
+			}
 			tx.L3Access = true
 			tx.Legs = append(tx.Legs, Leg{From: home, To: core, Kind: Data})
 			l.sharers.clear()
@@ -235,7 +255,6 @@ func (d *Directory) Access(addr uint64, core, home int, write, l3Hit bool) Trans
 			l.sharers.set(core)
 		}
 	}
-	return tx
 }
 
 // CheckInvariants verifies the MESI global invariants over all tracked
@@ -286,9 +305,13 @@ func (s *Snoop) get(addr uint64) *line {
 		for len(s.lines) >= s.capLines && len(s.order) > 0 {
 			victim := s.order[0]
 			s.order = s.order[1:]
+			l = s.lines[victim]
 			delete(s.lines, victim)
 		}
-		l = &line{state: Invalid, owner: -1}
+		if l == nil {
+			l = &line{}
+		}
+		*l = line{state: Invalid, owner: -1}
 		s.lines[addr] = l
 		s.order = append(s.order, addr)
 	}
@@ -298,8 +321,16 @@ func (s *Snoop) get(addr uint64) *line {
 // Access performs the snooping transaction. The broadcast request is
 // one bus transaction; the data reply is a directed transfer.
 func (s *Snoop) Access(addr uint64, core, home int, write, l3Hit bool) Transaction {
+	var tx Transaction
+	s.AccessInto(&tx, addr, core, home, write, l3Hit)
+	return tx
+}
+
+// AccessInto is Access writing into a caller-owned Transaction (see
+// Directory.AccessInto): reset-and-reuse semantics, identical sequence.
+func (s *Snoop) AccessInto(tx *Transaction, addr uint64, core, home int, write, l3Hit bool) {
 	l := s.get(addr)
-	tx := Transaction{}
+	tx.reset()
 	// Snoop broadcast: the request itself reaches every cache.
 	tx.Legs = append(tx.Legs, Leg{From: core, To: -1, Kind: Request})
 	supplier := home
@@ -341,7 +372,6 @@ func (s *Snoop) Access(addr uint64, core, home int, write, l3Hit bool) Transacti
 			l.sharers.set(core)
 		}
 	}
-	return tx
 }
 
 // State reports the tracked state of addr.

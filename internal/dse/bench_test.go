@@ -1,0 +1,34 @@
+package dse
+
+import (
+	"context"
+	"testing"
+
+	"cryowire/internal/platform"
+	"cryowire/internal/sim"
+)
+
+// BenchmarkDSEGrid measures one serial exhaustive grid search over the
+// quick space — the same shape the golden determinism gate pins
+// (seed 1, workers 1). It exercises every hot path at once: the
+// timing-wheel scheduler and pooled transactions inside each candidate
+// simulation, and the pooled circuit solver inside the platform
+// derivations. A fresh platform per iteration keeps the work honest;
+// otherwise later iterations would be answered from the derivation
+// cache.
+func BenchmarkDSEGrid(b *testing.B) {
+	cfg := Config{
+		Space:    DefaultSpace(true),
+		Strategy: StrategyGrid,
+		Seed:     1,
+		Sim:      sim.Config{WarmupCycles: 400, MeasureCycles: 1600, Seed: 1},
+		Workers:  1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Platform = platform.New()
+		if _, err := Run(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -216,6 +216,57 @@ type BusConfig struct {
 	FaultDomain string
 }
 
+// pktq is a ring-deque packet FIFO. Node queues used to be plain slices
+// advanced with q = q[1:], which leaks capacity and forces a fresh
+// backing array every QueueCap injections; the ring reaches the queue
+// cap once and never allocates again. pushFront exists for the NACK
+// path, which re-heads a corrupted transfer for retransmission.
+type pktq struct {
+	buf  []*Packet // ring storage; len is always a power of two
+	head int
+	n    int
+}
+
+func (q *pktq) front() *Packet { return q.buf[q.head] }
+
+func (q *pktq) pushBack(p *Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
+	q.n++
+}
+
+func (q *pktq) pushFront(p *Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = p
+	q.n++
+}
+
+func (q *pktq) popFront() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return p
+}
+
+func (q *pktq) grow() {
+	size := 2 * len(q.buf)
+	if size < 4 {
+		size = 4
+	}
+	nb := make([]*Packet, size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
 // Bus is a cycle-level snooping-bus simulator: requests travel on
 // dedicated request wires to the central matrix arbiter; the granted
 // node's transfer occupies the shared wires for its serialization time;
@@ -224,7 +275,7 @@ type BusConfig struct {
 type Bus struct {
 	cfg      BusConfig
 	arb      *MatrixArbiter
-	queues   [][]*Packet
+	queues   []pktq
 	now      int64
 	busFree  int64
 	inflight []busInflight
@@ -258,7 +309,7 @@ func NewBus(cfg BusConfig) *Bus {
 	b := &Bus{
 		cfg:    cfg,
 		arb:    NewMatrixArbiter(cfg.Nodes),
-		queues: make([][]*Packet, cfg.Nodes),
+		queues: make([]pktq, cfg.Nodes),
 		reqs:   make([]bool, cfg.Nodes),
 	}
 	if cfg.Injector != nil {
@@ -316,12 +367,12 @@ func (b *Bus) Timing() Timing { return b.cfg.Timing }
 
 // TryInject implements Network.
 func (b *Bus) TryInject(p *Packet) bool {
-	q := b.queues[p.Src]
-	if len(q) >= b.cfg.QueueCap {
+	q := &b.queues[p.Src]
+	if q.n >= b.cfg.QueueCap {
 		return false
 	}
 	// InjectedAt is owned by the caller.
-	b.queues[p.Src] = append(q, p)
+	q.pushBack(p)
 	return true
 }
 
@@ -384,8 +435,8 @@ func (b *Bus) Step() {
 		}
 		for i := range b.reqs {
 			b.reqs[i] = false
-			if len(b.queues[i]) > 0 {
-				head := b.queues[i][0]
+			if b.queues[i].n > 0 {
+				head := b.queues[i].front()
 				reqWire := int64(b.cfg.Timing.WireCycles(b.cfg.Layout.ReqHops(i)))
 				if head.InjectedAt+reqWire > now {
 					continue
@@ -400,8 +451,7 @@ func (b *Bus) Step() {
 		// fail.
 		g, _ := b.arb.Grant(b.reqs)
 		if g >= 0 {
-			p := b.queues[g][0]
-			b.queues[g] = b.queues[g][1:]
+			p := b.queues[g].popFront()
 			tc := int64(b.transferCycles(p))
 			flits := p.Flits
 			if flits < 1 {
@@ -427,7 +477,7 @@ func (b *Bus) Step() {
 				// backoff. The corrupted attempt still occupied the bus
 				// and drove the wires.
 				b.stats.Retransmits++
-				b.queues[g] = append([]*Packet{p}, b.queues[g]...)
+				b.queues[g].pushFront(p)
 				b.retry[p] = &retryState{attempts: attempts + 1, eligibleAt: now + tc + b.inj.Backoff(attempts+1)}
 			} else {
 				// Clean transfer — or the retry budget is exhausted and

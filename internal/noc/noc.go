@@ -25,6 +25,11 @@ type Packet struct {
 	// snoop packets, more for data).
 	Flits      int
 	InjectedAt int64
+	// Slot is simulator-owned scratch: an intrusive reference (slot
+	// index + 1; 0 means unreferenced) that lets the owning simulator
+	// find its bookkeeping for this packet without a map lookup.
+	// Networks must carry it untouched.
+	Slot int32
 }
 
 // Broadcast as a destination delivers the packet to every other node.

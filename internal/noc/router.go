@@ -20,14 +20,54 @@ type rlink struct {
 }
 
 // port is an input buffer (per incoming link, plus one injection port).
-// reserved counts in-flight packets that have been granted the buffer
-// but not yet arrived — the credit mechanism.
+// The queue is a ring deque rather than an appended-and-resliced slice:
+// occupancy is credit-bounded by inCap, so after the ring grows to the
+// credit ceiling once, enqueue/dequeue never allocate again — this was
+// the NoC's dominant steady-state allocation site. reserved counts
+// in-flight packets that have been granted the buffer but not yet
+// arrived — the credit mechanism.
 type port struct {
-	q        []arrival
+	buf      []arrival // ring storage; len is always a power of two
+	head     int       // index of the queue front
+	n        int       // live entries
 	reserved int
 }
 
-func (pt *port) occupancy() int { return len(pt.q) + pt.reserved }
+func (pt *port) occupancy() int { return pt.n + pt.reserved }
+
+// front returns the queue head; valid only when n > 0.
+func (pt *port) front() *arrival { return &pt.buf[pt.head] }
+
+func (pt *port) push(a arrival) {
+	if pt.n == len(pt.buf) {
+		pt.grow()
+	}
+	pt.buf[(pt.head+pt.n)&(len(pt.buf)-1)] = a
+	pt.n++
+}
+
+func (pt *port) pop() arrival {
+	a := pt.buf[pt.head]
+	pt.buf[pt.head] = arrival{} // drop the packet reference
+	pt.head = (pt.head + 1) & (len(pt.buf) - 1)
+	pt.n--
+	return a
+}
+
+// grow doubles the ring (minimum 4 slots), unwrapping entries to the
+// front so the mask arithmetic stays valid.
+func (pt *port) grow() {
+	size := 2 * len(pt.buf)
+	if size < 4 {
+		size = 4
+	}
+	nb := make([]arrival, size)
+	for i := 0; i < pt.n; i++ {
+		nb[i] = pt.buf[(pt.head+i)&(len(pt.buf)-1)]
+	}
+	pt.buf = nb
+	pt.head = 0
+}
 
 // router is one node of a router-based network.
 type router struct {
@@ -110,7 +150,7 @@ func (rn *RouterNet) TryInject(p *Packet) bool {
 	}
 	// InjectedAt is owned by the caller (it may predate this cycle when
 	// the packet waited in a source queue).
-	inj.q = append(inj.q, arrival{p: p, readyAt: rn.now})
+	inj.push(arrival{p: p, readyAt: rn.now})
 	return true
 }
 
@@ -125,9 +165,9 @@ func (rn *RouterNet) Step() {
 		// router cycle for each input port.
 		for pi := range r.ports {
 			pt := &r.ports[pi]
-			for len(pt.q) > 0 && pt.q[0].readyAt <= now && rn.nodeRouter(pt.q[0].p.Dst) == ri {
-				rn.deliver(pt.q[0].p, now)
-				pt.q = pt.q[1:]
+			for pt.n > 0 && pt.front().readyAt <= now && rn.nodeRouter(pt.front().p.Dst) == ri {
+				rn.deliver(pt.front().p, now)
+				pt.pop()
 			}
 		}
 		// Switch allocation: one grant per output link per cycle.
@@ -147,10 +187,10 @@ func (rn *RouterNet) Step() {
 			for k := 0; k < n; k++ {
 				pi := (r.rr[li] + k) % n
 				pt := &r.ports[pi]
-				if len(pt.q) == 0 || pt.q[0].readyAt > now {
+				if pt.n == 0 || pt.front().readyAt > now {
 					continue
 				}
-				p := pt.q[0].p
+				p := pt.front().p
 				if rn.nodeRouter(p.Dst) == ri {
 					continue // ejection handles it
 				}
@@ -164,8 +204,7 @@ func (rn *RouterNet) Step() {
 				continue
 			}
 			pt := &r.ports[granted]
-			a := pt.q[0]
-			pt.q = pt.q[1:]
+			a := pt.pop()
 			r.rr[li] = (granted + 1) % n
 			flits := a.p.Flits
 			if flits < 1 {
@@ -182,7 +221,7 @@ func (rn *RouterNet) Step() {
 			if lat < 1 {
 				lat = 1
 			}
-			dpt.q = append(dpt.q, arrival{p: a.p, readyAt: now + lat})
+			dpt.push(arrival{p: a.p, readyAt: now + lat})
 		}
 	}
 	rn.now++

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"cryowire/internal/workload"
+)
+
+// benchSystem builds the flagship design on the given net kind, warmed
+// past the cold-start transient so the benchmark loop measures the
+// steady-state cycle path.
+func benchSystem(b testing.TB, mk func(*Factory) Design, wl string) *System {
+	b.Helper()
+	p, err := workload.ByName(wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(mk(NewFactory()), p, Config{WarmupCycles: 1, MeasureCycles: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		s.Step()
+	}
+	return s
+}
+
+// BenchmarkSystemStep is the tentpole hot path: one call per NoC cycle,
+// tens of thousands per evaluation. The timing wheel, intrusive
+// inflight refs and the txn/packet/event pools all land here.
+func BenchmarkSystemStep(b *testing.B) {
+	s := benchSystem(b, func(f *Factory) Design { return f.CHPMesh() }, "ferret")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkBusStep is the same cycle path on the snooping CryoBus
+// (split request/data buses, broadcast delivery).
+func BenchmarkBusStep(b *testing.B) {
+	s := benchSystem(b, func(f *Factory) Design { return f.CryoSPCryoBus() }, "streamcluster")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -53,8 +53,9 @@ const (
 	dramBanks    = 8
 )
 
-// l3Cycles returns the L3 array service time in NoC cycles.
-func (s *System) l3Cycles() int64 {
+// l3CyclesDerive computes the L3 array service time in NoC cycles; it
+// is design-constant, so New caches it in s.l3Cyc for the cycle loop.
+func (s *System) l3CyclesDerive() int64 {
 	c := int64(math.Round(s.design.Memory.L3.LatencyNS() * s.design.NoC.FreqGHz))
 	if c < 1 {
 		c = 1
@@ -110,25 +111,24 @@ func (s *System) startTxn(core int, barrier, write, prefetch bool) *txn {
 		// usually L3 hits.
 		l3Hit = s.rng.Float64() >= s.prof.L3MissRatio*0.5
 	}
-	ctx := s.proto.Access(addr, core, s.home(addr), write, l3Hit)
-	t := &txn{
-		core:     core,
-		addr:     addr,
-		legs:     ctx.Legs,
-		l3Access: ctx.L3Access,
-		dram:     ctx.DRAM,
-		started:  s.now,
-		barrier:  barrier,
-		prefetch: prefetch,
-		lockLine: -1,
-		invLegs:  ctx.Invalidations,
-		phase:    BucketNoC,
-	}
+	t := s.newTxn()
+	s.proto.AccessInto(&t.ctx, addr, core, s.home(addr), write, l3Hit)
+	t.core = core
+	t.addr = addr
+	t.legs = t.ctx.Legs
+	t.l3Access = t.ctx.L3Access
+	t.dram = t.ctx.DRAM
+	t.started = s.now
+	t.barrier = barrier
+	t.prefetch = prefetch
+	t.lockLine = -1
+	t.invLegs = t.ctx.Invalidations
+	t.phase = BucketNoC
 	c := &s.cores[core]
 	if !prefetch {
 		c.outstanding++
 		c.txns = append(c.txns, t)
-		if !barrier && s.rng.Float64() < s.blockProb() {
+		if !barrier && s.rng.Float64() < s.blockP {
 			t.blocking = true
 			c.blockedOn = t
 		}
@@ -154,18 +154,17 @@ func (s *System) startTxn(core int, barrier, write, prefetch bool) *txn {
 // serialize, which is where slow NoCs destroy lock throughput.
 func (s *System) startLockTxn(core int) {
 	line := s.rng.Intn(lockLineCount)
-	ctx := s.proto.Access(lockAddr(line), core, s.home(lockAddr(line)), true, true)
-	t := &txn{
-		core:     core,
-		legs:     ctx.Legs,
-		l3Access: ctx.L3Access,
-		started:  s.now,
-		blocking: true,
-		lockLine: line,
-		chain:    lockHandoffPhases - 1,
-		invLegs:  ctx.Invalidations,
-		phase:    BucketNoC,
-	}
+	t := s.newTxn()
+	s.proto.AccessInto(&t.ctx, lockAddr(line), core, s.home(lockAddr(line)), true, true)
+	t.core = core
+	t.legs = t.ctx.Legs
+	t.l3Access = t.ctx.L3Access
+	t.started = s.now
+	t.blocking = true
+	t.lockLine = line
+	t.chain = lockHandoffPhases - 1
+	t.invLegs = t.ctx.Invalidations
+	t.phase = BucketNoC
 	c := &s.cores[core]
 	c.outstanding++
 	c.txns = append(c.txns, t)
@@ -199,20 +198,22 @@ func (s *System) injectLeg(t *txn) {
 	if dst == -1 {
 		dst = noc.Broadcast
 	}
-	p := &noc.Packet{
-		ID:         s.nextPkt,
-		Src:        leg.From,
-		Dst:        dst,
-		Flits:      flits,
-		InjectedAt: s.now,
-	}
+	p := s.newPacket()
+	p.ID = s.nextPkt
+	p.Src = leg.From
+	p.Dst = dst
+	p.Flits = flits
+	p.InjectedAt = s.now
 	s.nextPkt++
 	t.phase = BucketNoC
 	if !s.legNetwork(leg.Kind).TryInject(p) {
-		s.schedule(s.now+1, &injEvent{pkt: p, t: t})
+		ev := s.newEvent()
+		ev.pkt = p
+		ev.t = t
+		s.schedule(s.now+1, ev)
 		return
 	}
-	s.inflight[p] = inflightRef{t: t}
+	s.trackInflight(p, t, false)
 }
 
 // injectInvalidations launches the parallel fan-out stage: one message
@@ -221,41 +222,52 @@ func (s *System) injectLeg(t *txn) {
 func (s *System) injectInvalidations(t *txn) {
 	t.invRemaining = len(t.invLegs)
 	for _, leg := range t.invLegs {
-		p := &noc.Packet{
-			ID:         s.nextPkt,
-			Src:        leg.From,
-			Dst:        leg.To,
-			Flits:      1,
-			InjectedAt: s.now,
-		}
+		p := s.newPacket()
+		p.ID = s.nextPkt
+		p.Src = leg.From
+		p.Dst = leg.To
+		p.Flits = 1
+		p.InjectedAt = s.now
 		s.nextPkt++
 		if !s.net.TryInject(p) {
-			s.schedule(s.now+1, &injEvent{pkt: p, t: t, inv: true})
+			ev := s.newEvent()
+			ev.pkt = p
+			ev.t = t
+			ev.inv = true
+			s.schedule(s.now+1, ev)
 			continue
 		}
-		s.inflight[p] = inflightRef{t: t, inv: true}
+		s.trackInflight(p, t, true)
 	}
 	t.invLegs = nil
 }
 
-// schedule queues a future injection retry or service completion.
+// schedule queues a future injection retry or service completion on the
+// timing wheel.
 func (s *System) schedule(at int64, ev *injEvent) {
-	s.pendInj[at] = append(s.pendInj[at], ev)
+	s.wheel.schedule(at, s.now, ev)
 }
 
-// onDeliver advances a transaction when one of its packets lands.
+// onDeliver advances a transaction when one of its packets lands. The
+// packet carries its in-flight slot index intrusively (Packet.Slot), so
+// resolving the owning transaction is one bounds-checked load; the
+// packet itself returns to the pool here, the unique point where no
+// network holds a reference anymore.
 func (s *System) onDeliver(p *noc.Packet, now int64) {
-	ref, ok := s.inflight[p]
-	if !ok {
+	idx := p.Slot - 1
+	if idx < 0 || int(idx) >= len(s.slots) || s.slots[idx].pkt != p {
 		return
 	}
-	t := ref.t
-	delete(s.inflight, p)
+	sl := s.slots[idx]
+	s.releaseSlot(idx)
+	p.Slot = 0
 	if s.measuring {
 		s.latSum += now - p.InjectedAt
 		s.msgCount++
 	}
-	if ref.inv {
+	s.freePacket(p)
+	t := sl.t
+	if sl.inv {
 		t.invRemaining--
 		if t.invRemaining == 0 {
 			s.advanceLeg(t)
@@ -281,7 +293,7 @@ func (s *System) advanceLeg(t *txn) {
 	next := t.legs[t.leg]
 	delay := int64(0)
 	if next.Kind == coherence.Data && t.l3Access {
-		delay += s.l3Cycles()
+		delay += s.l3Cyc
 		t.phase = BucketL3
 		if t.dram {
 			delay += s.dramCycles(t.addr, s.now)
@@ -295,7 +307,9 @@ func (s *System) advanceLeg(t *txn) {
 		s.injectLeg(t)
 		return
 	}
-	s.schedule(s.now+delay, &injEvent{t: t})
+	ev := s.newEvent()
+	ev.t = t
+	s.schedule(s.now+delay, ev)
 }
 
 // completeTxn retires a transaction.
@@ -318,14 +332,19 @@ func (s *System) completeTxn(t *txn) {
 		if t.chain > 0 {
 			// Chain the next hand-off phase (release-visibility transfer)
 			// while still holding the line.
-			ctx := s.proto.Access(lockAddr(t.lockLine%lockLineCount), t.core,
+			nt := s.newTxn()
+			s.proto.AccessInto(&nt.ctx, lockAddr(t.lockLine%lockLineCount), t.core,
 				s.home(lockAddr(t.lockLine%lockLineCount)), true, true)
-			nt := &txn{
-				core: t.core, legs: ctx.Legs, l3Access: ctx.L3Access,
-				started: s.now, blocking: t.blocking, lockLine: t.lockLine,
-				chain: t.chain - 1, barrier: t.barrier, invLegs: ctx.Invalidations,
-				phase: BucketNoC,
-			}
+			nt.core = t.core
+			nt.legs = nt.ctx.Legs
+			nt.l3Access = nt.ctx.L3Access
+			nt.started = s.now
+			nt.blocking = t.blocking
+			nt.lockLine = t.lockLine
+			nt.chain = t.chain - 1
+			nt.barrier = t.barrier
+			nt.invLegs = nt.ctx.Invalidations
+			nt.phase = BucketNoC
 			if !t.prefetch {
 				c.outstanding++
 				c.txns = append(c.txns, nt)
@@ -333,6 +352,7 @@ func (s *System) completeTxn(t *txn) {
 					c.blockedOn = nt
 				}
 			}
+			s.freeTxn(t)
 			s.injectLeg(nt)
 			return
 		}
@@ -345,7 +365,9 @@ func (s *System) completeTxn(t *txn) {
 			s.injectLeg(nxt)
 		}
 	}
-	if !t.barrier {
+	barrier := t.barrier
+	s.freeTxn(t)
+	if !barrier {
 		return
 	}
 	// Barrier bookkeeping.
@@ -368,15 +390,15 @@ func (s *System) completeTxn(t *txn) {
 		}
 		for k := 0; k < waiting; k++ {
 			spinner := s.rng.Intn(s.design.Cores)
-			sp := &txn{
-				core:    spinner,
-				started: s.now,
-				phase:   BucketNoC,
-				legs: s.proto.Access(barrierAddr, spinner, s.home(barrierAddr),
-					false, true).Legs,
-				lockLine: -1,
-				prefetch: true, // pure traffic: holds no commit tokens
-			}
+			sp := s.newTxn()
+			s.proto.AccessInto(&sp.ctx, barrierAddr, spinner, s.home(barrierAddr),
+				false, true)
+			sp.core = spinner
+			sp.started = s.now
+			sp.phase = BucketNoC
+			sp.legs = sp.ctx.Legs
+			sp.lockLine = -1
+			sp.prefetch = true // pure traffic: holds no commit tokens
 			s.injectLeg(sp)
 		}
 		if s.barrierArrived == s.design.Cores {
@@ -387,7 +409,7 @@ func (s *System) completeTxn(t *txn) {
 				for i := range s.cores {
 					c := &s.cores[i]
 					c.inBarrier = false
-					c.nextBarrierAt = c.committed + s.barrierInterval()*(0.75+0.5*s.rng.Float64())
+					c.nextBarrierAt = c.committed + s.barrierIntv*(0.75+0.5*s.rng.Float64())
 				}
 				return
 			}
@@ -403,59 +425,53 @@ func (s *System) completeTxn(t *txn) {
 	// Release read completed: resume.
 	c.released = false
 	c.inBarrier = false
-	c.nextBarrierAt = c.committed + s.barrierInterval()*(0.75+0.5*s.rng.Float64())
+	c.nextBarrierAt = c.committed + s.barrierIntv*(0.75+0.5*s.rng.Float64())
 }
 
-// Step advances the system one NoC cycle.
+// Step advances the system one NoC cycle. This is the simulator's
+// hottest function — one call per cycle, tens of thousands per
+// evaluation — so the schedule is a timing wheel (no map traffic), the
+// measuring-path float work is hoisted behind one flag read, and every
+// object it touches comes from a pool.
 func (s *System) Step() {
-	// Pending retries / service completions.
-	if evs, ok := s.pendInj[s.now]; ok {
-		delete(s.pendInj, s.now)
-		for _, ev := range evs {
-			if ev.pkt != nil {
-				// Injection retry (invalidations always ride the main
-				// request network).
-				net := s.net
-				if !ev.inv {
-					net = s.legNetwork(ev.t.legs[ev.t.leg].Kind)
-				}
-				if !net.TryInject(ev.pkt) {
-					s.schedule(s.now+1, ev)
-					continue
-				}
-				s.inflight[ev.pkt] = inflightRef{t: ev.t, inv: ev.inv}
+	// Pending retries / service completions, in schedule order.
+	for _, ev := range s.wheel.drain(s.now) {
+		if ev.pkt != nil {
+			// Injection retry (invalidations always ride the main
+			// request network).
+			net := s.net
+			if !ev.inv {
+				net = s.legNetwork(ev.t.legs[ev.t.leg].Kind)
+			}
+			if !net.TryInject(ev.pkt) {
+				s.schedule(s.now+1, ev)
 				continue
 			}
-			s.injectLeg(ev.t)
+			s.trackInflight(ev.pkt, ev.t, ev.inv)
+			s.freeEvent(ev)
+			continue
 		}
+		t := ev.t
+		s.freeEvent(ev)
+		s.injectLeg(t)
 	}
-	// Cores.
+	// Cores. The measurement bookkeeping (CPI-stack floats) is gated on
+	// one hoisted flag read so warmup cycles skip it entirely.
+	measuring := s.measuring
 	for i := range s.cores {
 		c := &s.cores[i]
 		if c.inBarrier {
-			if s.measuring {
+			if measuring {
 				s.stackCycl[BucketSync]++
 			}
 			continue
 		}
-		rate := c.instrPerCycle
-		allowed := rate
-		if c.blockedOn != nil || c.outstanding >= c.mlpCap {
-			allowed = 0
+		stalled := c.blockedOn != nil || c.outstanding >= c.mlpCap
+		if !stalled {
+			c.committed += c.instrPerCycle
 		}
-		c.committed += allowed
-		if s.measuring {
-			frac := allowed / rate
-			s.stackCycl[BucketBase] += frac
-			if frac < 1 {
-				bucket := BucketNoC
-				if c.blockedOn != nil {
-					bucket = c.blockedOn.phase
-				} else if len(c.txns) > 0 {
-					bucket = c.txns[0].phase
-				}
-				s.stackCycl[bucket] += 1 - frac
-			}
+		if measuring {
+			s.measureCore(c, stalled)
 		}
 		// Demand misses (plus the prefetch stream).
 		for c.committed >= c.nextMissAt && c.outstanding < c.mlpCap {
@@ -470,7 +486,7 @@ func (s *System) Step() {
 		// Contended lock hand-offs.
 		for c.committed >= c.nextLockAt {
 			s.startLockTxn(i)
-			c.nextLockAt += s.lockInterval() * (0.5 + s.rng.Float64())
+			c.nextLockAt += s.lockIntv * (0.5 + s.rng.Float64())
 		}
 		// Barrier entry.
 		if c.committed >= c.nextBarrierAt && !c.inBarrier {
@@ -484,6 +500,25 @@ func (s *System) Step() {
 		s.dataNet.Step()
 	}
 	s.now++
+}
+
+// measureCore charges this cycle's core activity to the CPI-stack
+// buckets. Kept out of Step's inline path so the warmup loop carries no
+// dead float work.
+func (s *System) measureCore(c *coreState, stalled bool) {
+	if !stalled {
+		// allowed == rate: the whole cycle is base time (frac == 1).
+		s.stackCycl[BucketBase]++
+		return
+	}
+	// allowed == 0: the whole cycle is stall time (frac == 0).
+	bucket := BucketNoC
+	if c.blockedOn != nil {
+		bucket = c.blockedOn.phase
+	} else if len(c.txns) > 0 {
+		bucket = c.txns[0].phase
+	}
+	s.stackCycl[bucket]++
 }
 
 // totalCommitted sums committed instructions over all cores.
@@ -613,10 +648,14 @@ func (s *System) latMsgs() int64 {
 // Fig 17 ("ideal NoC which has zero latency without contention and
 // runs with snooping protocol").
 type idealNet struct {
-	nodes     int
-	now       int64
-	stats     noc.Stats
-	queue     []*noc.Packet
+	nodes int
+	now   int64
+	stats noc.Stats
+	queue []*noc.Packet
+	// spare is the second buffer of the Step double-buffering: deliveries
+	// can re-inject, so the drained queue and the live queue must be
+	// distinct storage, swapped each cycle to avoid per-cycle allocation.
+	spare     []*noc.Packet
 	OnDeliver func(p *noc.Packet, now int64)
 }
 
@@ -647,13 +686,15 @@ func (n *idealNet) TryInject(p *noc.Packet) bool {
 // cycle.
 func (n *idealNet) Step() {
 	q := n.queue
-	n.queue = nil
+	n.queue = n.spare[:0]
 	n.now++
-	for _, p := range q {
+	for i, p := range q {
+		q[i] = nil // drop the reference; packets are pooled by the caller
 		if n.OnDeliver != nil {
 			n.OnDeliver(p, n.now)
 		} else {
 			n.stats.Record(p, n.now)
 		}
 	}
+	n.spare = q[:0]
 }

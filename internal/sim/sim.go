@@ -210,13 +210,20 @@ func DefaultConfig() Config {
 	return Config{WarmupCycles: 6000, MeasureCycles: 24000, Seed: 1}
 }
 
-// protocol abstracts the two coherence engines.
+// protocol abstracts the two coherence engines. AccessInto writes the
+// message sequence into a caller-owned Transaction whose slices are
+// reset and reused — the simulator hands it the pooled txn's embedded
+// Transaction, so the coherence layer allocates nothing in steady state.
 type protocol interface {
-	Access(addr uint64, core, home int, write, l3Hit bool) coherence.Transaction
+	AccessInto(tx *coherence.Transaction, addr uint64, core, home int, write, l3Hit bool)
 }
 
 // txn is one in-flight coherence transaction.
 type txn struct {
+	// ctx is the protocol's message sequence, owned by this txn so its
+	// leg slices are recycled with it through the pool (AccessInto
+	// resets and refills them in place).
+	ctx      coherence.Transaction
 	core     int
 	addr     uint64
 	legs     []coherence.Leg
@@ -264,13 +271,37 @@ type System struct {
 	dram      *dram.Memory
 	rng       *rand.Rand
 	cores     []coreState
-	pendInj   map[int64][]*injEvent
-	inflight  map[*noc.Packet]inflightRef
 	now       int64
 	nextPkt   int64
 	completed int64
 	latSum    int64
 	msgCount  int64
+
+	// wheel is the event schedule: injection retries and service
+	// completions, bucketed by cycle (see wheel.go).
+	wheel eventWheel
+	// slots is the in-flight packet table. Each injected packet carries
+	// its slot index (+1, so the zero Packet is "unreferenced") in
+	// Packet.Slot; delivery resolves the owning transaction with one
+	// bounds-checked load instead of a pointer-keyed map lookup.
+	slots     []inflightSlot
+	freeSlots []int32
+	inflightN int
+
+	// Free lists recycle the per-transaction allocations of the cycle
+	// loop. A steady-state Step allocates nothing: transactions, packets
+	// and schedule events all come from (and return to) these pools.
+	txnFree []*txn
+	evFree  []*injEvent
+	pktFree []*noc.Packet
+
+	// Hot-path constants hoisted out of the cycle loop: these are pure
+	// functions of the design × profile pair, precomputed in New so
+	// Step's miss/lock/barrier draws skip the math.Pow/divide chains.
+	blockP      float64
+	lockIntv    float64
+	barrierIntv float64
+	l3Cyc       int64
 
 	// barrier bookkeeping
 	barrierArrived int
@@ -292,9 +323,11 @@ type injEvent struct {
 	inv bool
 }
 
-// inflightRef ties a packet to its transaction; inv marks an
-// invalidation fan-out message rather than the main leg chain.
-type inflightRef struct {
+// inflightSlot ties an in-flight packet to its transaction; inv marks
+// an invalidation fan-out message rather than the main leg chain. The
+// pkt pointer doubles as the liveness check: a freed slot is nil.
+type inflightSlot struct {
+	pkt *noc.Packet
 	t   *txn
 	inv bool
 }
@@ -328,12 +361,10 @@ func New(d Design, p workload.Profile, cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		design:   d,
-		prof:     p,
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		pendInj:  make(map[int64][]*injEvent),
-		inflight: make(map[*noc.Packet]inflightRef),
+		design: d,
+		prof:   p,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if cfg.Fault != nil && cfg.Fault.Active() {
 		inj, err := fault.New(*cfg.Fault)
@@ -365,7 +396,93 @@ func New(d Design, p workload.Profile, cfg Config) (*System, error) {
 		c.nextBarrierAt = s.barrierInterval() * (0.5 + s.rng.Float64())
 		c.nextLockAt = s.lockInterval() * (0.5 + s.rng.Float64())
 	}
+	// Hoist the design-constant rates out of the cycle loop (identical
+	// values, computed once instead of per draw).
+	s.blockP = s.blockProb()
+	s.lockIntv = s.lockInterval()
+	s.barrierIntv = s.barrierInterval()
+	s.l3Cyc = s.l3CyclesDerive()
 	return s, nil
+}
+
+// --- hot-path allocation pools ---------------------------------------------
+//
+// The cycle loop recycles its three per-transaction allocations —
+// transactions, packets and schedule events — through free lists, so a
+// steady-state Step allocates nothing. Pooling is invisible to the
+// simulation: an object is freed only once no queue, slot or schedule
+// references it, and every alloc fully reinitializes the object.
+
+// newTxn returns a zeroed transaction from the pool. The embedded
+// coherence.Transaction keeps its slice capacity across recycles (the
+// protocol's AccessInto resets and refills it), so a warmed pool makes
+// coherence accesses allocation-free.
+func (s *System) newTxn() *txn {
+	if n := len(s.txnFree); n > 0 {
+		t := s.txnFree[n-1]
+		s.txnFree = s.txnFree[:n-1]
+		ctx := t.ctx
+		*t = txn{}
+		t.ctx = ctx
+		return t
+	}
+	return &txn{}
+}
+
+// freeTxn recycles a retired transaction.
+func (s *System) freeTxn(t *txn) { s.txnFree = append(s.txnFree, t) }
+
+// newPacket returns a zeroed packet from the pool.
+func (s *System) newPacket() *noc.Packet {
+	if n := len(s.pktFree); n > 0 {
+		p := s.pktFree[n-1]
+		s.pktFree = s.pktFree[:n-1]
+		*p = noc.Packet{}
+		return p
+	}
+	return &noc.Packet{}
+}
+
+// freePacket recycles a delivered packet. Networks drop their reference
+// the moment the delivery hook returns, so the hook is the unique safe
+// recycling point.
+func (s *System) freePacket(p *noc.Packet) { s.pktFree = append(s.pktFree, p) }
+
+// newEvent returns a zeroed schedule event from the pool.
+func (s *System) newEvent() *injEvent {
+	if n := len(s.evFree); n > 0 {
+		ev := s.evFree[n-1]
+		s.evFree = s.evFree[:n-1]
+		*ev = injEvent{}
+		return ev
+	}
+	return &injEvent{}
+}
+
+// freeEvent recycles a fired schedule event.
+func (s *System) freeEvent(ev *injEvent) { s.evFree = append(s.evFree, ev) }
+
+// trackInflight registers a successfully injected packet: it takes a
+// slot, stamps the intrusive reference into the packet, and counts it.
+func (s *System) trackInflight(p *noc.Packet, t *txn, inv bool) {
+	var idx int32
+	if n := len(s.freeSlots); n > 0 {
+		idx = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+	} else {
+		idx = int32(len(s.slots))
+		s.slots = append(s.slots, inflightSlot{})
+	}
+	s.slots[idx] = inflightSlot{pkt: p, t: t, inv: inv}
+	p.Slot = idx + 1
+	s.inflightN++
+}
+
+// releaseSlot frees a delivered packet's slot.
+func (s *System) releaseSlot(idx int32) {
+	s.slots[idx] = inflightSlot{}
+	s.freeSlots = append(s.freeSlots, idx)
+	s.inflightN--
 }
 
 // lockInterval is committed instructions between contended lock ops.

@@ -75,10 +75,15 @@ type watchdogState struct {
 	lastCompleted  int64
 }
 
-// stallError assembles the diagnosis.
+// stallError assembles the diagnosis. In-flight packets live in the
+// slot table (free slots have a nil pkt), so the scan skips holes.
 func (s *System) stallError(reason string) *StallError {
 	oldest := int64(0)
-	for p := range s.inflight {
+	for i := range s.slots {
+		p := s.slots[i].pkt
+		if p == nil {
+			continue
+		}
 		if age := s.now - p.InjectedAt; age > oldest {
 			oldest = age
 		}
@@ -93,7 +98,7 @@ func (s *System) stallError(reason string) *StallError {
 		Cycle:           s.now,
 		Reason:          reason,
 		OldestPacketAge: oldest,
-		InflightPackets: len(s.inflight),
+		InflightPackets: s.inflightN,
 		OutstandingTxns: outstanding,
 	}
 }
@@ -113,8 +118,14 @@ func (s *System) checkWatchdog(w *watchdogState) *StallError {
 		return s.stallError(fmt.Sprintf("no instruction commits or transaction completions for %d cycles", s.now-w.lastProgressAt))
 	}
 	// Packet age: a delivery taking this long means the message is
-	// circling or wedged, not merely queued.
-	for p := range s.inflight {
+	// circling or wedged, not merely queued. The watchdog only samples
+	// every CheckInterval cycles, so the slot-table scan stays far off
+	// the cycle loop's profile.
+	for i := range s.slots {
+		p := s.slots[i].pkt
+		if p == nil {
+			continue
+		}
 		if age := s.now - p.InjectedAt; age > w.cfg.MaxPacketAge {
 			return s.stallError(fmt.Sprintf("in-flight packet %d aged %d cycles (ceiling %d)", p.ID, age, w.cfg.MaxPacketAge))
 		}
