@@ -4,8 +4,12 @@
 # experiment engine are the concurrency-sensitive parts).
 #
 #   make test        - quick gate: build + tests (the ROADMAP tier-1 command)
-#   make check       - full gate: vet + build + race-enabled shuffled tests
-#                      + HTTP serve smoke test (~3 min)
+#   make check       - full gate: vet + staticcheck (if installed) + build
+#                      + race-enabled shuffled tests + HTTP serve smoke
+#                      test (~3 min)
+#   make chaos       - crash harness: build the real binary, SIGKILL it
+#                      mid-job, restart, assert byte-identical recovery
+#                      (forks processes; kept out of `make check`)
 #   make serve-smoke - boot `cryowire serve` on a random port, probe
 #                      /healthz and /metrics, and diff the experiment
 #                      endpoint's JSON against the CLI's -json output
@@ -18,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-sim serve-smoke
+.PHONY: all build test vet staticcheck race check chaos bench bench-sim serve-smoke
 
 all: check
 
@@ -31,13 +35,27 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling: run it when present, skip (loudly)
+# when not, so `make check` works on a bare Go toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race -shuffle=on ./...
 
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
-check: vet build race serve-smoke
+# The chaos tests fork real `cryowire serve` processes and SIGKILL them
+# mid-job, so they live behind a build tag and out of the -race gate.
+chaos:
+	$(GO) test -tags chaos -run TestChaos -v ./internal/jobs/
+
+check: vet staticcheck build race serve-smoke
 
 bench: bench-sim
 	$(GO) test -bench=. -benchmem ./...

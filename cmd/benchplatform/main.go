@@ -59,9 +59,12 @@ type result struct {
 // benchServer measures one cold experiment request and the sustained
 // hot (LRU-served) request rate against the in-process handler.
 func benchServer(quick bool) (coldSeconds, hotRPS float64, err error) {
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
+	if err != nil {
+		return 0, 0, err
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

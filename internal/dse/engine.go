@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"cryowire/internal/par"
 	"cryowire/internal/platform"
@@ -43,6 +45,26 @@ type Config struct {
 	Journal string
 	// Resume allows Journal to already exist and be continued.
 	Resume bool
+	// Progress, when non-nil, observes the search: it is called from
+	// the engine goroutine after every evaluation lands in the history
+	// (journal replays included) with the count so far and the run's
+	// resolved budget. It must not block for long — the search stalls
+	// while it runs — and it never influences the result bytes.
+	Progress func(evaluated, budget int)
+	// RetryAttempts bounds total evaluation attempts per candidate:
+	// transient failures are retried with exponential backoff until the
+	// bound. 0 or 1 means a single attempt. Retrying is safe because
+	// evaluation is a pure function of (point, sim config) — a retried
+	// success is bit-equal to a first-try success.
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 100ms when retries are enabled). The wait is
+	// context-aware: cancellation aborts it.
+	RetryBackoff time.Duration
+	// RetryNotify, when non-nil, observes each failure that is about to
+	// be retried (a metrics hook; errors that exhaust the attempt bound
+	// surface through Run instead).
+	RetryNotify func(error)
 }
 
 // Result is the outcome of one search.
@@ -63,10 +85,13 @@ type Result struct {
 // Run executes one design-space search: it validates the space, replays
 // any resumed journal, drives the strategy until the budget or the
 // space is exhausted, evaluates each proposed batch in parallel on the
-// shared platform cache, and extracts the Pareto frontier. Cancel ctx
-// to stop between batches; a journaled run resumed after cancellation
-// continues where it stopped and, with the same seed, produces
-// byte-identical output to an uninterrupted run.
+// shared platform cache, and extracts the Pareto frontier. Each
+// evaluation is journaled (and reported via cfg.Progress) the moment it
+// completes, not at the batch barrier, so a kill mid-batch loses only
+// the points still in flight. Cancel ctx to stop between evaluations; a
+// journaled run resumed after cancellation continues where it stopped
+// and, with the same seed, produces byte-identical output to an
+// uninterrupted run.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Space.Validate(); err != nil {
 		return nil, err
@@ -125,31 +150,60 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		// from the checkpoint without re-simulating. Results land in
 		// index-addressed slots, so history order is proposal order — the
 		// order the strategy's determinism contract depends on — not
-		// completion order.
+		// completion order. Each fresh evaluation is journaled and
+		// counted as it completes (under recMu — the journal append and
+		// the progress count are shared), so a kill mid-batch checkpoints
+		// every finished point; served candidates are already on disk and
+		// are not re-appended. Journal replay is keyed by index, so the
+		// completion-order line sequence does not affect resume.
 		evals := make([]Eval, len(fresh))
 		errs := make([]error, len(fresh))
-		perr := par.ForCtx(ctx, len(fresh), cfg.Workers, func(k int) {
-			pt := cfg.Space.At(fresh[k])
-			if e, ok := jl.lookup(fresh[k]); ok {
+		served := make([]bool, len(fresh))
+		// Journal lookups happen serially up front: the cache map must
+		// not be read by workers while record() grows it.
+		for k, i := range fresh {
+			if e, ok := jl.lookup(i); ok {
 				evals[k] = e
-				return
+				served[k] = true
 			}
-			prof, err := cfg.Space.profileByName(pt.Workload)
-			if err != nil {
-				errs[k] = err
-				return
+		}
+		var recMu sync.Mutex
+		recErr := error(nil)
+		completed := len(hist)
+		perr := par.ForCtx(ctx, len(fresh), cfg.Workers, func(k int) {
+			if !served[k] {
+				pt := cfg.Space.At(fresh[k])
+				prof, err := cfg.Space.profileByName(pt.Workload)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				evals[k], errs[k] = retryEval(ctx, cfg, pt, prof)
+				if errs[k] != nil {
+					return
+				}
 			}
-			evals[k], errs[k] = evaluate(ctx, cfg.Platform, pt, prof, cfg.Sim)
+			recMu.Lock()
+			if !served[k] {
+				if err := jl.record(fresh[k], evals[k]); err != nil && recErr == nil {
+					recErr = err
+				}
+			}
+			completed++
+			if cfg.Progress != nil {
+				cfg.Progress(completed, budget)
+			}
+			recMu.Unlock()
 		})
 		if perr != nil {
 			return nil, perr
 		}
+		if recErr != nil {
+			return nil, recErr
+		}
 		for k, i := range fresh {
 			if errs[k] != nil {
 				return nil, errs[k]
-			}
-			if err := jl.record(i, evals[k]); err != nil {
-				return nil, err
 			}
 			hist = append(hist, HistoryEntry{Index: i, Point: cfg.Space.At(i), Eval: evals[k]})
 		}

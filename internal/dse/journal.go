@@ -1,14 +1,13 @@
 package dse
 
 import (
-	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"cryowire/internal/sim"
 )
@@ -20,7 +19,8 @@ import (
 // seeded strategy from scratch and serves journaled indexes from the
 // cache, so a resumed run's output is byte-identical to an
 // uninterrupted one. Lines are appended with O_APPEND and synced per
-// batch; a truncated trailing line (killed mid-write) is ignored.
+// evaluation, as each completes; a truncated trailing line (killed
+// mid-write) is ignored.
 
 // journalHeader is the first line of a journal file.
 type journalHeader struct {
@@ -97,19 +97,30 @@ func openJournal(path string, s Space, cfg sim.Config, resume bool) (*journal, e
 }
 
 // load reads the existing journal, checks the header key, and fills
-// the cache. A malformed or truncated trailing line (the run was
-// killed mid-write) is tolerated; malformed interior lines are errors.
+// the cache. A torn final line — the run was killed between a write
+// and its sync, so a suffix of the file never reached disk — is
+// truncated away, not merely skipped: the next append must start on a
+// clean line boundary or it would glue a fresh record onto the torn
+// bytes and corrupt an interior line for every later resume. Malformed
+// newline-terminated lines were fully written, so they are genuine
+// corruption and remain errors.
 func (j *journal) load(key string) error {
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("dse: rewind journal: %w", err)
 	}
-	sc := bufio.NewScanner(j.f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	if !sc.Scan() {
-		return fmt.Errorf("dse: journal has no header line")
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("dse: read journal: %w", err)
+	}
+	lines, torn := splitJournal(data)
+	if len(lines) == 0 {
+		// Even the header never hit a line boundary: the kill landed
+		// inside the very first write. Nothing is recoverable; restart
+		// the journal from scratch.
+		return j.restart(key, 0)
 	}
 	var hdr journalHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
 		return fmt.Errorf("dse: journal header: %w", err)
 	}
 	if hdr.Kind != journalKind {
@@ -118,29 +129,16 @@ func (j *journal) load(key string) error {
 	if hdr.Key != key {
 		return fmt.Errorf("dse: journal was recorded for a different space or simulation config; remove it to start over")
 	}
-	var prev string
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	for _, line := range lines[1:] {
+		if err := j.addLine(line); err != nil {
+			return err
 		}
-		if prev != "" {
-			// Only now do we know prev was an interior line: it must parse.
-			if err := j.addLine(prev); err != nil {
-				return err
-			}
-		}
-		prev = line
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("dse: read journal: %w", err)
-	}
-	if prev != "" {
-		// The final line may be a torn write from a killed run; skip it
-		// silently if it does not parse. Its evaluation just re-runs.
-		var l journalLine
-		if err := json.Unmarshal([]byte(prev), &l); err == nil {
-			j.cache[l.Index] = l.Eval
+	if torn >= 0 {
+		// Drop the torn tail so appends resume on a line boundary. The
+		// truncated evaluation just re-runs.
+		if err := j.f.Truncate(int64(torn)); err != nil {
+			return fmt.Errorf("dse: truncate torn journal tail: %w", err)
 		}
 	}
 	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
@@ -149,9 +147,47 @@ func (j *journal) load(key string) error {
 	return nil
 }
 
-func (j *journal) addLine(line string) error {
+// splitJournal cuts the journal bytes into complete (newline-
+// terminated) lines, skipping blank ones, and reports the byte offset
+// of a torn unterminated tail (-1 when the file ends cleanly).
+func splitJournal(data []byte) (lines [][]byte, torn int) {
+	start := 0
+	for start < len(data) {
+		nl := bytes.IndexByte(data[start:], '\n')
+		if nl < 0 {
+			return lines, start
+		}
+		line := bytes.TrimSpace(data[start : start+nl])
+		if len(line) > 0 {
+			lines = append(lines, line)
+		}
+		start += nl + 1
+	}
+	return lines, -1
+}
+
+// restart wipes the journal back to a fresh header — the recovery path
+// for a file whose header itself was torn mid-write.
+func (j *journal) restart(key string, size int64) error {
+	if err := j.f.Truncate(size); err != nil {
+		return fmt.Errorf("dse: truncate torn journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("dse: seek journal: %w", err)
+	}
+	hdr, err := json.Marshal(journalHeader{Kind: journalKind, Key: key})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(hdr, '\n')); err != nil {
+		return fmt.Errorf("dse: write journal header: %w", err)
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) addLine(line []byte) error {
 	var l journalLine
-	if err := json.Unmarshal([]byte(line), &l); err != nil {
+	if err := json.Unmarshal(line, &l); err != nil {
 		return fmt.Errorf("dse: corrupt journal line: %w", err)
 	}
 	j.cache[l.Index] = l.Eval

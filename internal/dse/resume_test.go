@@ -3,6 +3,7 @@ package dse
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -169,5 +170,114 @@ func TestJournalGuards(t *testing.T) {
 	bad.Resume = true
 	if _, err := Run(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "not a dse journal") {
 		t.Fatalf("kind guard: err = %v", err)
+	}
+}
+
+// TestTornTailTruncated is the regression test for the append-after-
+// torn-tail bug: a torn final line must be physically truncated on
+// resume, so the resumed run's appends land on a clean line boundary
+// and a SECOND resume still parses every interior line. (The old code
+// skipped the torn line but left its bytes in place, gluing the next
+// record onto them — the journal then failed to load one crash later.)
+func TestTornTailTruncated(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "dse.jsonl")
+	cfg := Config{
+		Space:    DefaultSpace(true),
+		Strategy: StrategyGrid,
+		Budget:   2,
+		Sim:      quickSim(),
+		Platform: platform.New(),
+		Journal:  jpath,
+	}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the tail the way a SIGKILL between write and sync does:
+	// a partial JSON line with no trailing newline.
+	tear := func() {
+		f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(`{"index":3,"eval":{"freq_g`); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	tear()
+
+	// First resume: must load, truncate the torn bytes, and append two
+	// more evaluations cleanly.
+	next := cfg
+	next.Resume = true
+	next.Budget = 4
+	if _, err := Run(context.Background(), next); err != nil {
+		t.Fatalf("resume over torn tail: %v", err)
+	}
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, clean) {
+		t.Fatalf("truncation rewrote the intact prefix:\nbefore: %q\nafter:  %q", clean, raw)
+	}
+	if bytes.Contains(raw, []byte("freq_g{")) || bytes.Contains(raw, []byte(`"eval":{"freq_g`+`{`)) {
+		t.Fatalf("torn bytes survived the resume: %q", raw)
+	}
+	// Every line of the repaired journal must be valid JSON — the
+	// ground-truth property the old code violated.
+	for i, line := range bytes.Split(bytes.TrimSpace(raw), []byte("\n")) {
+		if !json.Valid(line) {
+			t.Fatalf("line %d is not valid JSON after repair: %q", i, line)
+		}
+	}
+
+	// Second crash, second resume: the journal must still load.
+	tear()
+	again := cfg
+	again.Resume = true
+	again.Budget = 6
+	if _, err := Run(context.Background(), again); err != nil {
+		t.Fatalf("second resume after second tear: %v", err)
+	}
+}
+
+// TestTornHeaderRestartsJournal: a kill inside the very first write
+// leaves a header fragment with no newline; resume must restart the
+// journal rather than refuse forever.
+func TestTornHeaderRestartsJournal(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "dse.jsonl")
+	if err := os.WriteFile(jpath, []byte(`{"kind":"cryowire-dse-jo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Space:    DefaultSpace(true),
+		Strategy: StrategyGrid,
+		Budget:   2,
+		Sim:      quickSim(),
+		Platform: platform.New(),
+		Journal:  jpath,
+		Resume:   true,
+	}
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatalf("resume over torn header: %v", err)
+	}
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) != 1+2 {
+		t.Fatalf("restarted journal has %d lines, want 3:\n%s", len(lines), raw)
+	}
+	for i, line := range lines {
+		if !json.Valid(line) {
+			t.Fatalf("line %d invalid after header restart: %q", i, line)
+		}
 	}
 }

@@ -1,0 +1,163 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cryowire/internal/platform"
+	"cryowire/internal/sim"
+	"cryowire/internal/workload"
+)
+
+// flakyEval wraps the real evaluator with a per-point failure budget:
+// the first fails[index-key] calls for a point error, later calls pass
+// through. Concurrency-safe because the engine evaluates batches in
+// parallel.
+type flakyEval struct {
+	mu    sync.Mutex
+	fails map[string]int
+	calls int
+}
+
+func (f *flakyEval) eval(ctx context.Context, pf *platform.Platform, pt Point, prof workload.Profile, cfg sim.Config) (Eval, error) {
+	f.mu.Lock()
+	f.calls++
+	left := f.fails[pt.String()]
+	if left > 0 {
+		f.fails[pt.String()] = left - 1
+		f.mu.Unlock()
+		return Eval{}, fmt.Errorf("injected transient failure for %s", pt)
+	}
+	f.mu.Unlock()
+	return evaluate(ctx, pf, pt, prof, cfg)
+}
+
+// swapEval installs a test evaluator and restores the real one.
+func swapEval(t *testing.T, fn func(context.Context, *platform.Platform, Point, workload.Profile, sim.Config) (Eval, error)) {
+	t.Helper()
+	prev := evalFn
+	evalFn = fn
+	t.Cleanup(func() { evalFn = prev })
+}
+
+// TestRetryRecoversTransientFailures: with retry enabled, a search
+// whose evaluator fails transiently produces the exact bytes of a
+// clean run; without retry, the same failure surfaces as an error.
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	pf := platform.New()
+	base := Config{
+		Space:    DefaultSpace(true),
+		Strategy: StrategyGrid,
+		Budget:   6,
+		Seed:     3,
+		Sim:      quickSim(),
+		Workers:  2,
+		Platform: pf,
+	}
+	ref, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := base.Space.At(2).String()
+	fe := &flakyEval{fails: map[string]int{victim: 2}}
+	swapEval(t, fe.eval)
+
+	var retries int
+	var mu sync.Mutex
+	cfg := base
+	cfg.RetryAttempts = 3
+	cfg.RetryBackoff = time.Millisecond
+	cfg.RetryNotify = func(err error) {
+		if err == nil {
+			t.Error("RetryNotify called with nil error")
+		}
+		mu.Lock()
+		retries++
+		mu.Unlock()
+	}
+	got, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("retry did not absorb transient failures: %v", err)
+	}
+	gb, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, gb) {
+		t.Fatalf("retried run diverged from clean run:\n--- clean ---\n%s\n--- retried ---\n%s", want, gb)
+	}
+	mu.Lock()
+	if retries != 2 {
+		t.Fatalf("RetryNotify fired %d times, want 2", retries)
+	}
+	mu.Unlock()
+
+	// The same failure without retry must surface.
+	fe2 := &flakyEval{fails: map[string]int{victim: 1}}
+	swapEval(t, fe2.eval)
+	if _, err := Run(context.Background(), base); err == nil {
+		t.Fatal("unretried transient failure did not surface")
+	}
+}
+
+// TestRetryExhaustionSurfacesError: a failure outliving the attempt
+// bound must surface the underlying error, not hang or succeed.
+func TestRetryExhaustionSurfacesError(t *testing.T) {
+	fe := &flakyEval{fails: map[string]int{DefaultSpace(true).At(0).String(): 100}}
+	swapEval(t, fe.eval)
+	cfg := Config{
+		Space:         DefaultSpace(true),
+		Strategy:      StrategyGrid,
+		Budget:        2,
+		Sim:           quickSim(),
+		Workers:       1,
+		Platform:      platform.New(),
+		RetryAttempts: 3,
+		RetryBackoff:  time.Millisecond,
+	}
+	_, err := Run(context.Background(), cfg)
+	if err == nil || !strings.Contains(err.Error(), "injected transient failure") {
+		t.Fatalf("exhausted retries: err = %v", err)
+	}
+	if fe.calls < 3 {
+		t.Fatalf("evaluator called %d times, want >= 3 attempts", fe.calls)
+	}
+}
+
+// TestRetryStopsOnCancellation: cancellation must abort the backoff
+// wait promptly instead of burning the full retry schedule.
+func TestRetryStopsOnCancellation(t *testing.T) {
+	swapEval(t, func(context.Context, *platform.Platform, Point, workload.Profile, sim.Config) (Eval, error) {
+		return Eval{}, fmt.Errorf("always failing")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		Space:         DefaultSpace(true),
+		Strategy:      StrategyGrid,
+		Budget:        1,
+		Sim:           quickSim(),
+		Workers:       1,
+		Platform:      platform.New(),
+		RetryAttempts: 50,
+		RetryBackoff:  time.Hour, // would hang for days if cancellation were ignored
+	}
+	start := time.Now()
+	_, err := Run(ctx, cfg)
+	if err == nil {
+		t.Fatal("canceled retry run succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to stop the retry loop", elapsed)
+	}
+}

@@ -1,0 +1,73 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// fsOps abstracts the handful of syscalls the store's crash-safety
+// argument rests on, so tests can fail any of them at any point
+// (store-level fault injection). Production uses realFS; every field
+// must be non-nil.
+type fsOps struct {
+	WriteFile func(name string, data []byte) error // create + write + close, no sync
+	Sync      func(f *os.File) error
+	Rename    func(oldpath, newpath string) error
+	Remove    func(name string) error
+	RemoveAll func(path string) error
+	MkdirAll  func(path string, perm os.FileMode) error
+}
+
+// realFS is the production syscall set.
+func realFS() fsOps {
+	return fsOps{
+		WriteFile: func(name string, data []byte) error { return os.WriteFile(name, data, 0o644) },
+		Sync:      func(f *os.File) error { return f.Sync() },
+		Rename:    os.Rename,
+		Remove:    os.Remove,
+		RemoveAll: os.RemoveAll,
+		MkdirAll:  os.MkdirAll,
+	}
+}
+
+// tmpPrefix marks in-progress writes; the store scanner skips and
+// sweeps anything carrying it, so a crash mid-write never surfaces a
+// half-written file or directory as real state.
+const tmpPrefix = ".tmp-"
+
+// atomicWrite persists data at dir/name with full-crash atomicity:
+// write to a same-directory temp file, fsync the file, rename over the
+// destination, fsync the directory so the rename itself is durable.
+// Readers therefore see either the old complete content or the new
+// complete content, never a prefix.
+func (s *Store) atomicWrite(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, tmpPrefix+name)
+	if err := s.fs.WriteFile(tmp, data); err != nil {
+		return fmt.Errorf("jobs: write %s: %w", tmp, err)
+	}
+	if err := s.syncPath(tmp); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("jobs: sync %s: %w", tmp, err)
+	}
+	dst := filepath.Join(dir, name)
+	if err := s.fs.Rename(tmp, dst); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("jobs: rename %s: %w", name, err)
+	}
+	if err := s.syncPath(dir); err != nil {
+		return fmt.Errorf("jobs: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// syncPath fsyncs a file or directory by path through the injectable
+// Sync hook.
+func (s *Store) syncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.fs.Sync(f)
+}

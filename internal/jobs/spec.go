@@ -1,0 +1,91 @@
+package jobs
+
+import (
+	"fmt"
+
+	"cryowire/internal/dse"
+	"cryowire/internal/sim"
+	"cryowire/internal/workload"
+)
+
+// Spec is the durable description of one asynchronous DSE job: every
+// input the engine's determinism contract ranges over, in a flat,
+// human-readable JSON shape. Workloads are stored by name and resolved
+// at run time, so a spec written by one process replays identically in
+// the process that recovers it.
+type Spec struct {
+	// Strategy, Budget and Seed parameterize the search (see dse.Config).
+	Strategy string `json:"strategy"`
+	Budget   int    `json:"budget"`
+	Seed     int64  `json:"seed"`
+	// TempsK, Modes, Depths, Nets and Workloads are the space axes.
+	TempsK    []float64 `json:"temps_k"`
+	Modes     []string  `json:"modes"`
+	Depths    []int     `json:"depths"`
+	Nets      []string  `json:"nets"`
+	Workloads []string  `json:"workloads"`
+	// WarmupCycles, MeasureCycles and SimSeed are the per-candidate
+	// simulation knobs.
+	WarmupCycles  int   `json:"warmup_cycles"`
+	MeasureCycles int   `json:"measure_cycles"`
+	SimSeed       int64 `json:"sim_seed"`
+	// Workers bounds the job's parallel evaluation fan-out (0 = all
+	// CPUs). Worker count never changes the result bytes.
+	Workers int `json:"workers"`
+}
+
+// SpecFromConfig extracts the durable spec from a resolved engine
+// config (the server's DTO resolution already validated it).
+func SpecFromConfig(cfg dse.Config) Spec {
+	return Spec{
+		Strategy:      cfg.Strategy,
+		Budget:        cfg.Budget,
+		Seed:          cfg.Seed,
+		TempsK:        cfg.Space.TempsK,
+		Modes:         cfg.Space.Modes,
+		Depths:        cfg.Space.Depths,
+		Nets:          cfg.Space.Nets,
+		Workloads:     cfg.Space.WorkloadNames,
+		WarmupCycles:  cfg.Sim.WarmupCycles,
+		MeasureCycles: cfg.Sim.MeasureCycles,
+		SimSeed:       cfg.Sim.Seed,
+		Workers:       cfg.Workers,
+	}
+}
+
+// Config resolves the spec back into an engine config (journal path
+// and platform are the manager's business, not the spec's). Workload
+// names resolve against the built-in suite; a spec naming an unknown
+// workload fails here, before any state transitions.
+func (sp Spec) Config() (dse.Config, error) {
+	wls := make([]workload.Profile, 0, len(sp.Workloads))
+	for _, n := range sp.Workloads {
+		w, err := workload.ByName(n)
+		if err != nil {
+			return dse.Config{}, fmt.Errorf("jobs: spec: %w", err)
+		}
+		wls = append(wls, w)
+	}
+	space := dse.NewSpace(sp.TempsK, sp.Modes, sp.Depths, sp.Nets, wls)
+	if err := space.Validate(); err != nil {
+		return dse.Config{}, fmt.Errorf("jobs: spec: %w", err)
+	}
+	return dse.Config{
+		Space:    space,
+		Strategy: sp.Strategy,
+		Budget:   sp.Budget,
+		Seed:     sp.Seed,
+		Sim:      sim.Config{WarmupCycles: sp.WarmupCycles, MeasureCycles: sp.MeasureCycles, Seed: sp.SimSeed},
+		Workers:  sp.Workers,
+	}, nil
+}
+
+// Total is the number of evaluations the job will perform when the
+// strategy does not converge early: the budget clipped to the space.
+func (sp Spec) Total() int {
+	size := len(sp.TempsK) * len(sp.Modes) * len(sp.Depths) * len(sp.Nets) * len(sp.Workloads)
+	if sp.Budget > 0 && sp.Budget < size {
+		return sp.Budget
+	}
+	return size
+}

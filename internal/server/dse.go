@@ -42,12 +42,21 @@ type dseDTO struct {
 	} `json:"config"`
 }
 
-// dseSpaceBudget bounds how much searching one HTTP request may ask
-// for; bigger studies belong on the CLI where they can journal.
+// dseSpaceBudget bounds how much searching one synchronous HTTP
+// request may ask for; bigger studies belong on the async job API or
+// the CLI, which journal their progress.
 const dseSpaceBudget = 4096
 
-// dseConfig resolves the DTO into an engine config.
+// dseConfig resolves the DTO into an engine config for the synchronous
+// endpoint, enforcing the candidate cap.
 func (d dseDTO) dseConfig() (dse.Config, error) {
+	return d.resolve(dseSpaceBudget)
+}
+
+// resolve turns the DTO into an engine config. maxEvals bounds how
+// many candidates the request may evaluate; <= 0 means unbounded (the
+// async job path, whose journal makes long searches safe).
+func (d dseDTO) resolve(maxEvals int) (dse.Config, error) {
 	if d.Budget < 0 || d.Workers < 0 {
 		return dse.Config{}, badRequest("budget and workers must be >= 0")
 	}
@@ -86,8 +95,8 @@ func (d dseDTO) dseConfig() (dse.Config, error) {
 	if d.Budget > 0 && d.Budget < evals {
 		evals = d.Budget
 	}
-	if evals > dseSpaceBudget {
-		return dse.Config{}, badRequest("request would evaluate %d candidates, server cap is %d; cap the budget or use `cryowire dse`", evals, dseSpaceBudget)
+	if maxEvals > 0 && evals > maxEvals {
+		return dse.Config{}, badRequest("request would evaluate %d candidates, server cap is %d; cap the budget, or use POST /v1/dse/jobs or `cryowire dse`", evals, maxEvals)
 	}
 	cfg := sim.DefaultConfig()
 	if d.Quick {

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cryowire/internal/jobs"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. The grid is
@@ -31,6 +33,7 @@ type metrics struct {
 	coalesced     atomic.Uint64
 	rejectedBusy  atomic.Uint64 // 429: admission semaphore full
 	rejectedDrain atomic.Uint64 // 503: draining for shutdown
+	rejectedRate  atomic.Uint64 // 429: job-submission token bucket empty
 
 	mu       sync.Mutex
 	requests map[string]uint64 // "route\x00code" → count
@@ -59,6 +62,18 @@ func (m *metrics) observe(route string, code int, dur time.Duration) {
 	m.mu.Unlock()
 }
 
+// meanLatency returns the average observed request duration in
+// seconds (0 before any sample) — the basis of the admission 429's
+// Retry-After hint.
+func (m *metrics) meanLatency() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.latCount == 0 {
+		return 0
+	}
+	return m.latSum / float64(m.latCount)
+}
+
 // platformStats is the derivation-cache view /metrics needs; the
 // platform package's Stats method satisfies it via a closure.
 type platformStats struct {
@@ -66,8 +81,9 @@ type platformStats struct {
 }
 
 // renderProm writes the whole exposition in Prometheus text format.
-// Series within a metric are sorted so scrapes are deterministic.
-func (m *metrics) renderProm(lru lruStats, pf platformStats) string {
+// Series within a metric are sorted so scrapes are deterministic. js
+// is nil when the async job subsystem is disabled.
+func (m *metrics) renderProm(lru lruStats, pf platformStats, js *jobs.Stats) string {
 	var b strings.Builder
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -114,6 +130,25 @@ func (m *metrics) renderProm(lru lruStats, pf platformStats) string {
 
 	counter("cryowire_platform_cache_hits_total", "Model-derivation calls served from the shared platform cache.", pf.Hits)
 	counter("cryowire_platform_cache_misses_total", "Model artifacts actually derived by the shared platform cache.", pf.Misses)
+
+	if js != nil {
+		counter("cryowire_http_rate_limited_total", "Job submissions rejected with 429 by the per-client token bucket.", m.rejectedRate.Load())
+		counter("cryowire_jobs_submitted_total", "Async DSE jobs accepted.", js.Submitted)
+		counter("cryowire_jobs_completed_total", "Async DSE jobs that finished with a result.", js.Completed)
+		counter("cryowire_jobs_failed_total", "Async DSE jobs that ended in an error.", js.Failed)
+		counter("cryowire_jobs_canceled_total", "Async DSE jobs canceled by clients.", js.Canceled)
+		counter("cryowire_jobs_resumed_total", "Interrupted jobs resumed from their journals at startup.", js.Resumed)
+		counter("cryowire_jobs_eval_retries_total", "Transient evaluation failures retried with backoff.", js.Retries)
+		statuses := make([]string, 0, len(js.ByStatus))
+		for st := range js.ByStatus {
+			statuses = append(statuses, string(st))
+		}
+		sort.Strings(statuses)
+		fmt.Fprintf(&b, "# HELP cryowire_jobs Jobs in the store by status.\n# TYPE cryowire_jobs gauge\n")
+		for _, st := range statuses {
+			fmt.Fprintf(&b, "cryowire_jobs{status=%q} %d\n", st, js.ByStatus[jobs.Status(st)])
+		}
+	}
 
 	gauge("cryowire_uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds())
 	return b.String()

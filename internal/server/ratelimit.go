@@ -1,0 +1,98 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter for the job
+// submission endpoint. Each client (keyed by remote IP) owns a bucket
+// of `burst` tokens refilled at `rate` tokens per second; a submission
+// spends one token. When a bucket is empty the limiter reports exactly
+// how long until the next token exists, which becomes the Retry-After
+// header — the hint is honest, not a constant.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from client's bucket. When it cannot, it
+// returns the wait until one token will have accumulated.
+func (rl *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, exists := rl.buckets[client]
+	if !exists {
+		rl.prune(now)
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	}
+	b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / rl.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// prune drops buckets that have been idle long enough to be full again
+// — they are indistinguishable from absent. Called with mu held, only
+// on the new-client path, so steady-state traffic never pays for it.
+func (rl *rateLimiter) prune(now time.Time) {
+	if len(rl.buckets) < 1024 {
+		return
+	}
+	idle := time.Duration(rl.burst / rl.rate * float64(time.Second))
+	for k, b := range rl.buckets {
+		if now.Sub(b.last) > idle {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies the requester for rate limiting: the remote IP
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// ceilSeconds renders a wait as the smallest whole-second Retry-After
+// value that is not an underestimate.
+func ceilSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

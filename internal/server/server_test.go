@@ -28,7 +28,11 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = quietLogger()
 	}
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 // do runs one request through the full middleware stack.
