@@ -16,11 +16,15 @@
 #   make bench       - Go benchmarks + serial-vs-parallel engine timing
 #                      and server hot/cold throughput (writes BENCH_platform.json)
 #                      + the hot-path harness below
-#   make bench-sim   - hot-path perf harness: cycle-loop, solver and
-#                      quick-sweep numbers (writes BENCH_sim.json; see
-#                      DESIGN.md "Performance")
+#   make bench-sim   - hot-path perf harness: cycle-loop, solver,
+#                      quick-sweep and batched-sweep numbers (writes
+#                      BENCH_sim.json; see DESIGN.md "Performance").
+#                      BATCH=N forces N lanes per lockstep batch
+#                      (default 0 = auto).
 
 GO ?= go
+# Lanes per lockstep batch for the bench-sim batch sweep (0 = auto).
+BATCH ?= 0
 
 .PHONY: all build test vet staticcheck race check chaos bench bench-sim serve-smoke
 
@@ -62,4 +66,4 @@ bench: bench-sim
 	$(GO) run ./cmd/benchplatform -quick -o BENCH_platform.json
 
 bench-sim:
-	$(GO) run ./cmd/benchsim -o BENCH_sim.json
+	$(GO) run ./cmd/benchsim -o BENCH_sim.json -batch $(BATCH)

@@ -8,15 +8,18 @@
 //
 // Usage:
 //
-//	benchsim [-o BENCH_sim.json]
+//	benchsim [-o BENCH_sim.json] [-batch N]
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -55,10 +58,22 @@ type report struct {
 	SolverAllocsPerOp float64 `json:"solver_allocs_per_op"`
 
 	// QuickSweepSeconds is the end-to-end serial wall time of the full
-	// experiment registry in quick mode — directly comparable to
-	// BENCH_platform.json's serial_seconds.
-	QuickSweepSeconds float64 `json:"quick_sweep_seconds"`
-	QuickSweepFailed  int     `json:"quick_sweep_failed"`
+	// experiment registry in quick mode, run on the legacy per-run
+	// engine path so the number stays directly comparable to
+	// BENCH_platform.json's serial_seconds and to prior releases.
+	// QuickSweepFailed counts whole-experiment aborts;
+	// QuickSweepLaneFailed counts per-lane simulation failures
+	// (sim.LaneError) that poisoned only their own grid cell.
+	QuickSweepSeconds    float64 `json:"quick_sweep_seconds"`
+	QuickSweepFailed     int     `json:"quick_sweep_failed"`
+	QuickSweepLaneFailed int     `json:"quick_sweep_lane_failed"`
+
+	// BatchSweepSeconds is the wall time to run the quick sweep's
+	// recorded system-simulation grid (the sim.System portion of the
+	// sweep) through the lockstep batch runner with a fresh dedup
+	// cache, at BatchLanes lanes per batch.
+	BatchSweepSeconds float64 `json:"batch_sweep_seconds"`
+	BatchLanes        int     `json:"batch_lanes"`
 }
 
 // newSystem builds a warmed system exactly like the in-package Go
@@ -98,7 +113,7 @@ func benchStep(mk func(*sim.Factory) sim.Design, wl string) (stepBench, error) {
 	}, nil
 }
 
-func run(out string) error {
+func run(out string, batch int) error {
 	rep := report{Cores: runtime.NumCPU(), GoVersion: runtime.Version()}
 
 	var err error
@@ -131,15 +146,57 @@ func run(out string) error {
 	rep.SolverNSPerOp = float64(sr.NsPerOp())
 	rep.SolverAllocsPerOp = float64(sr.AllocsPerOp())
 
-	// End-to-end: the full registry, serial, quick mode.
+	// End-to-end: the full registry, serial, quick mode, forced onto
+	// the legacy per-run engine path (Batch = -1) so the number keeps
+	// meaning the same thing release over release. The observer records
+	// every system-simulation the sweep asked for; the batch sweep
+	// below re-runs exactly that grid through the lockstep runner.
+	var mu sync.Mutex
+	var specs []sim.LaneSpec
+	opt := experiments.QuickOptions()
+	opt.Batch = -1
+	opt.SpecObserver = func(sp sim.LaneSpec) {
+		mu.Lock()
+		specs = append(specs, sp)
+		mu.Unlock()
+	}
+	var firstErr error
 	start := time.Now()
-	for _, oc := range experiments.RunAll(experiments.QuickOptions()) {
+	for _, oc := range experiments.RunAll(opt) {
 		if oc.Err != nil {
 			fmt.Fprintf(os.Stderr, "benchsim: %s: %v\n", oc.ID, oc.Err)
-			rep.QuickSweepFailed++
+			var le *sim.LaneError
+			if errors.As(oc.Err, &le) {
+				rep.QuickSweepLaneFailed++
+			} else {
+				rep.QuickSweepFailed++
+			}
+			if firstErr == nil {
+				firstErr = oc.Err
+			}
 		}
 	}
 	rep.QuickSweepSeconds = time.Since(start).Seconds()
+
+	// Batch sweep: the recorded grid through the lockstep batch runner
+	// with a fresh dedup cache — the headline batching number. Results
+	// are bit-identical to the per-run sweep's, so only time and
+	// failures are reported.
+	runner := &sim.BatchRunner{Lanes: batch, Cache: sim.NewResultCache()}
+	rep.BatchLanes = runner.LanesFor(len(specs))
+	start = time.Now()
+	_, errs := runner.RunCtx(context.Background(), specs)
+	rep.BatchSweepSeconds = time.Since(start).Seconds()
+	for _, lerr := range errs {
+		if lerr == nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchsim: batch sweep: %v\n", lerr)
+		rep.QuickSweepLaneFailed++
+		if firstErr == nil {
+			firstErr = lerr
+		}
+	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -150,16 +207,18 @@ func run(out string) error {
 		return err
 	}
 	fmt.Printf("%s", b)
-	if rep.QuickSweepFailed > 0 {
-		return fmt.Errorf("%d experiments failed during the quick sweep", rep.QuickSweepFailed)
+	if firstErr != nil {
+		return fmt.Errorf("%d experiments and %d lanes failed during the sweeps; first: %w",
+			rep.QuickSweepFailed, rep.QuickSweepLaneFailed, firstErr)
 	}
 	return nil
 }
 
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
+	batch := flag.Int("batch", 0, "lanes per lockstep batch in the batch sweep (0 = auto)")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *batch); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsim: %v\n", err)
 		os.Exit(1)
 	}

@@ -33,12 +33,17 @@ var goldenExperiments = []string{"fig3", "fig10", "fig17", "fig21", "fig23"}
 
 // goldenBytes renders the canonical quick-mode output the golden file
 // pins: the JSON reports of the subset experiments followed by the JSON
-// of a quick grid DSE run (seed 1, serial).
-func goldenBytes(t *testing.T) []byte {
+// of a quick grid DSE run (seed 1, serial). batch selects the engine
+// path for the experiments (see Options.Batch: 0 auto-batched, >0
+// forced lane count, <0 legacy per-run) and lanes the DSE batch width
+// (see DSEConfig.BatchLanes) — every combination must produce the same
+// bytes, which is exactly what the golden variants below gate.
+func goldenBytes(t *testing.T, batch, lanes int) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	opt := QuickOptions()
 	opt.Workers = 1
+	opt.Batch = batch
 	for _, id := range goldenExperiments {
 		r, err := RunExperiment(id, opt)
 		if err != nil {
@@ -53,11 +58,12 @@ func goldenBytes(t *testing.T) []byte {
 		buf.WriteByte('\n')
 	}
 	res, err := RunDSE(context.Background(), DSEConfig{
-		Space:    DefaultDSESpace(true),
-		Strategy: "grid",
-		Seed:     1,
-		Sim:      QuickOptions().Sim,
-		Workers:  1,
+		Space:      DefaultDSESpace(true),
+		Strategy:   "grid",
+		Seed:       1,
+		Sim:        QuickOptions().Sim,
+		Workers:    1,
+		BatchLanes: lanes,
 	})
 	if err != nil {
 		t.Fatalf("dse grid: %v", err)
@@ -96,9 +102,14 @@ func TestQuickOutputsDeterministic(t *testing.T) {
 	}
 }
 
+// TestGoldenQuickOutputs gates the default engine path (auto-batched
+// experiments, auto-lane DSE) against the golden bytes. The PerRun and
+// BatchOfOne variants below gate the legacy path and the degenerate
+// batch against the same file, so all three engines are pinned to one
+// set of bytes.
 func TestGoldenQuickOutputs(t *testing.T) {
 	path := filepath.Join("testdata", "golden_quick.json")
-	got := goldenBytes(t)
+	got := goldenBytes(t, 0, 0)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -109,6 +120,34 @@ func TestGoldenQuickOutputs(t *testing.T) {
 		t.Logf("wrote %d golden bytes to %s", len(got), path)
 		return
 	}
+	compareGolden(t, got)
+}
+
+// TestGoldenQuickOutputsPerRun gates the legacy per-run engine path
+// (Batch = -1, single-lane DSE batches) against the same golden file:
+// the batching refactor must leave the original path byte-exact.
+func TestGoldenQuickOutputsPerRun(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file is written by TestGoldenQuickOutputs")
+	}
+	compareGolden(t, goldenBytes(t, -1, -1))
+}
+
+// TestGoldenQuickOutputsBatchOfOne gates the degenerate batch — one
+// lane per batch — against the same golden file: a batch of one must
+// equal a plain run bit for bit.
+func TestGoldenQuickOutputsBatchOfOne(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file is written by TestGoldenQuickOutputs")
+	}
+	compareGolden(t, goldenBytes(t, 1, 1))
+}
+
+// compareGolden diffs got against testdata/golden_quick.json, failing
+// with the first divergent byte and its context.
+func compareGolden(t *testing.T, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden_quick.json")
 	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)

@@ -1,0 +1,93 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+
+	"cryowire/internal/par"
+	"cryowire/internal/pipeline"
+	"cryowire/internal/sim"
+	"cryowire/internal/workload"
+)
+
+// batchRunFn indirects the lockstep batch execution so tests can
+// inject per-lane failures; production always points at
+// BatchRunner.RunCtx.
+var batchRunFn = func(ctx context.Context, r *sim.BatchRunner, specs []sim.LaneSpec) ([]sim.Result, []error) {
+	return r.RunCtx(ctx, specs)
+}
+
+// evaluateFresh evaluates the non-served candidates of one strategy
+// batch into evals/errs (index-aligned with fresh). The production
+// path builds one LaneSpec per candidate and drives them through the
+// lockstep BatchRunner; a lane that fails retries alone via
+// retryEvalFrom — the failure consumed attempt one, and the rest of
+// its batch is never re-run. With a test evaluator installed
+// (evalOverride) candidates run per point instead, so the override
+// observes every attempt. Both paths produce bit-identical evals.
+func evaluateFresh(ctx context.Context, cfg Config, fresh []int, served []bool, evals []Eval, errs []error) error {
+	if evalOverride != nil {
+		return par.ForCtx(ctx, len(fresh), cfg.Workers, func(k int) {
+			if served[k] {
+				return
+			}
+			pt := cfg.Space.At(fresh[k])
+			prof, err := cfg.Space.profileByName(pt.Workload)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			evals[k], errs[k] = retryEval(ctx, cfg, pt, prof)
+		})
+	}
+	type cand struct {
+		k    int
+		pt   Point
+		prof workload.Profile
+		core pipeline.CoreSpec
+	}
+	var cands []cand
+	var specs []sim.LaneSpec
+	for k, i := range fresh {
+		if served[k] {
+			continue
+		}
+		pt := cfg.Space.At(i)
+		prof, err := cfg.Space.profileByName(pt.Workload)
+		if err != nil {
+			errs[k] = err
+			continue
+		}
+		sp, core, err := candidateSpec(cfg.Platform, pt, prof, cfg.Sim)
+		if err != nil {
+			// Derivation failed before any simulation — the same failure
+			// evaluate() would hit first. It consumed attempt one; the
+			// retry policy decides whether to try again.
+			evals[k], errs[k] = retryEvalFrom(ctx, cfg, pt, prof, 1, err)
+			continue
+		}
+		cands = append(cands, cand{k: k, pt: pt, prof: prof, core: core})
+		specs = append(specs, sp)
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	lanes := cfg.BatchLanes
+	if lanes < 0 {
+		lanes = 1
+	}
+	runner := &sim.BatchRunner{Lanes: lanes, Workers: cfg.Workers}
+	results, lerrs := batchRunFn(ctx, runner, specs)
+	for ci, c := range cands {
+		if lerr := lerrs[ci]; lerr != nil {
+			// Per-lane retry: the failed lane re-runs alone, without its
+			// batch. Wrapped with the point so the surfaced error names
+			// the candidate the way the per-point engine did.
+			wrapped := fmt.Errorf("dse: point %s: %w", c.pt, lerr)
+			evals[c.k], errs[c.k] = retryEvalFrom(ctx, cfg, c.pt, c.prof, 1, wrapped)
+			continue
+		}
+		evals[c.k] = finishEval(cfg.Platform, c.pt, c.core, results[ci])
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cryowire/internal/platform"
+	"cryowire/internal/sim"
+)
+
+// countBatchCalls wraps batchRunFn to count engine→batch submissions,
+// optionally failing one lane exactly once. Restores the original on
+// cleanup.
+func countBatchCalls(t *testing.T, failOnce bool) (calls *int, mu *sync.Mutex) {
+	t.Helper()
+	prev := batchRunFn
+	var m sync.Mutex
+	n := 0
+	injected := false
+	batchRunFn = func(ctx context.Context, r *sim.BatchRunner, specs []sim.LaneSpec) ([]sim.Result, []error) {
+		m.Lock()
+		n++
+		m.Unlock()
+		res, errs := prev(ctx, r, specs)
+		m.Lock()
+		if failOnce && !injected && len(specs) > 0 {
+			injected = true
+			errs[0] = fmt.Errorf("injected lane failure")
+			res[0] = sim.Result{}
+		}
+		m.Unlock()
+		return res, errs
+	}
+	t.Cleanup(func() { batchRunFn = prev })
+	return &n, &m
+}
+
+// TestLaneRetryWithoutBatchRerun: when one lane of a batch fails, the
+// retry policy re-runs that point alone — the batch submission count
+// stays exactly what a clean run needs, and the output bytes match a
+// clean run exactly.
+func TestLaneRetryWithoutBatchRerun(t *testing.T) {
+	base := Config{
+		Space:      DefaultSpace(true),
+		Strategy:   StrategyGrid,
+		Budget:     4,
+		Seed:       3,
+		Sim:        quickSim(),
+		Workers:    1,
+		BatchLanes: 2,
+		Platform:   platform.New(),
+	}
+	cleanCalls, cmu := countBatchCalls(t, false)
+	ref, err := Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmu.Lock()
+	wantCalls := *cleanCalls
+	cmu.Unlock()
+
+	calls, mu := countBatchCalls(t, true)
+	var retries int
+	cfg := base
+	cfg.RetryAttempts = 2
+	cfg.RetryBackoff = time.Millisecond
+	cfg.RetryNotify = func(err error) { retries++ }
+	got, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("lane retry did not absorb the injected failure: %v", err)
+	}
+	gb, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, gb) {
+		t.Fatalf("retried run diverged from clean run:\n--- clean ---\n%s\n--- retried ---\n%s", want, gb)
+	}
+	if retries != 1 {
+		t.Fatalf("RetryNotify fired %d times, want 1", retries)
+	}
+	mu.Lock()
+	gotCalls := *calls
+	mu.Unlock()
+	if gotCalls != wantCalls {
+		t.Fatalf("failed lane re-ran its batch: %d batch submissions, clean run used %d", gotCalls, wantCalls)
+	}
+}
+
+// TestConcurrentBatchesMatchSerial: a search running multiple batches
+// concurrently (Workers 4, two-lane batches) produces byte-identical
+// output to the same search forced serial and single-lane. Run under
+// the race detector this also exercises the concurrent batch path.
+func TestConcurrentBatchesMatchSerial(t *testing.T) {
+	base := Config{
+		Space:    DefaultSpace(true),
+		Strategy: StrategyGrid,
+		Budget:   8,
+		Seed:     5,
+		Sim:      quickSim(),
+		Platform: platform.New(),
+	}
+	serial := base
+	serial.Workers = 1
+	serial.BatchLanes = -1
+	ref, err := Run(context.Background(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc := base
+	conc.Workers = 4
+	conc.BatchLanes = 2
+	got, err := Run(context.Background(), conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, gb) {
+		t.Fatalf("concurrent batched run diverged from serial single-lane run:\n--- serial ---\n%s\n--- batched ---\n%s", want, gb)
+	}
+}

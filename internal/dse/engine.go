@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"cryowire/internal/par"
@@ -33,6 +32,13 @@ type Config struct {
 	// Workers bounds parallel candidate evaluation; 0 means
 	// par.DefaultWorkers().
 	Workers int
+	// BatchLanes is the lane count per lockstep simulation batch
+	// (sim.BatchRunner); 0 picks an automatic size from Workers,
+	// negative forces single-lane batches. Never part of the journal
+	// key: batching is a scheduling choice that cannot change result
+	// bytes, so journals written at any lane count replay into any
+	// other.
+	BatchLanes int
 	// Platform supplies the shared derivation cache; nil means
 	// platform.Default().
 	Platform *platform.Platform
@@ -84,14 +90,18 @@ type Result struct {
 
 // Run executes one design-space search: it validates the space, replays
 // any resumed journal, drives the strategy until the budget or the
-// space is exhausted, evaluates each proposed batch in parallel on the
-// shared platform cache, and extracts the Pareto frontier. Each
-// evaluation is journaled (and reported via cfg.Progress) the moment it
-// completes, not at the batch barrier, so a kill mid-batch loses only
-// the points still in flight. Cancel ctx to stop between evaluations; a
-// journaled run resumed after cancellation continues where it stopped
-// and, with the same seed, produces byte-identical output to an
-// uninterrupted run.
+// space is exhausted, evaluates each proposed batch through the
+// lockstep simulation engine (sim.BatchRunner) on the shared platform
+// cache, and extracts the Pareto frontier. Evaluations are journaled
+// (and reported via cfg.Progress) in proposal order when their
+// strategy batch lands, so a kill mid-batch re-simulates only that
+// batch on resume. A lane that fails inside a batch retries alone
+// under the config's retry policy — its batch is never re-run. Cancel
+// ctx to stop between evaluations; a journaled run resumed after
+// cancellation continues where it stopped and, with the same seed,
+// produces byte-identical output to an uninterrupted run — at any
+// BatchLanes or Workers setting, since batching never changes result
+// bytes.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Space.Validate(); err != nil {
 		return nil, err
@@ -146,60 +156,46 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if len(fresh) == 0 {
 			break
 		}
-		// Evaluate the batch in parallel; journaled candidates are served
-		// from the checkpoint without re-simulating. Results land in
-		// index-addressed slots, so history order is proposal order — the
-		// order the strategy's determinism contract depends on — not
-		// completion order. Each fresh evaluation is journaled and
-		// counted as it completes (under recMu — the journal append and
-		// the progress count are shared), so a kill mid-batch checkpoints
-		// every finished point; served candidates are already on disk and
-		// are not re-appended. Journal replay is keyed by index, so the
-		// completion-order line sequence does not affect resume.
+		// Evaluate the batch through the lockstep simulation engine;
+		// journaled candidates are served from the checkpoint without
+		// re-simulating. Results land in index-addressed slots, so
+		// history order is proposal order — the order the strategy's
+		// determinism contract depends on — not completion order.
 		evals := make([]Eval, len(fresh))
 		errs := make([]error, len(fresh))
 		served := make([]bool, len(fresh))
 		// Journal lookups happen serially up front: the cache map must
-		// not be read by workers while record() grows it.
+		// not be read while record() grows it.
 		for k, i := range fresh {
 			if e, ok := jl.lookup(i); ok {
 				evals[k] = e
 				served[k] = true
 			}
 		}
-		var recMu sync.Mutex
-		recErr := error(nil)
+		if err := evaluateFresh(ctx, cfg, fresh, served, evals, errs); err != nil {
+			return nil, err
+		}
+		// Journal and report in proposal order once the batch lands.
+		// Checkpoint granularity is one strategy batch: a kill mid-batch
+		// re-simulates the in-flight batch on resume (the per-point
+		// engine checkpointed each completion; lockstep batching trades
+		// that for sweep throughput). Served candidates are already on
+		// disk and are not re-appended; journal replay is keyed by
+		// index, so the line sequence does not affect resume.
 		completed := len(hist)
-		perr := par.ForCtx(ctx, len(fresh), cfg.Workers, func(k int) {
-			if !served[k] {
-				pt := cfg.Space.At(fresh[k])
-				prof, err := cfg.Space.profileByName(pt.Workload)
-				if err != nil {
-					errs[k] = err
-					return
-				}
-				evals[k], errs[k] = retryEval(ctx, cfg, pt, prof)
-				if errs[k] != nil {
-					return
-				}
+		for k := range fresh {
+			if errs[k] != nil {
+				continue
 			}
-			recMu.Lock()
 			if !served[k] {
-				if err := jl.record(fresh[k], evals[k]); err != nil && recErr == nil {
-					recErr = err
+				if err := jl.record(fresh[k], evals[k]); err != nil {
+					return nil, err
 				}
 			}
 			completed++
 			if cfg.Progress != nil {
 				cfg.Progress(completed, budget)
 			}
-			recMu.Unlock()
-		})
-		if perr != nil {
-			return nil, perr
-		}
-		if recErr != nil {
-			return nil, recErr
 		}
 		for k, i := range fresh {
 			if errs[k] != nil {

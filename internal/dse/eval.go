@@ -96,28 +96,27 @@ func nocPowerKind(pt Point) power.NoCKind {
 // evalCores is the evaluated system size (the paper's 64-core target).
 const evalCores = 64
 
-// evaluate runs one candidate end to end: derive the core at the
-// point's depth/voltage, build the design on the shared platform's
-// memoized NoC timings, simulate the workload, and attach the
-// cooling-inclusive power metrics. Deterministic: the simulator seeds
-// from cfg alone, so equal (point, cfg) pairs produce bit-equal Evals
-// at any worker count.
-func evaluate(ctx context.Context, pf *platform.Platform, pt Point, prof workload.Profile, cfg sim.Config) (Eval, error) {
+// candidateSpec derives the simulation a candidate needs: the core at
+// the point's depth/voltage and the design on the shared platform's
+// memoized NoC timings, packaged as a sim.LaneSpec so the engine can
+// batch candidates through the lockstep runner. The returned CoreSpec
+// feeds finishEval's power metrics.
+func candidateSpec(pf *platform.Platform, pt Point, prof workload.Profile, cfg sim.Config) (sim.LaneSpec, pipeline.CoreSpec, error) {
 	nomOp, err := pf.OpAt(pt.TempK)
 	if err != nil {
-		return Eval{}, fmt.Errorf("dse: point %s: %w", pt, err)
+		return sim.LaneSpec{}, pipeline.CoreSpec{}, fmt.Errorf("dse: point %s: %w", pt, err)
 	}
 	op, sizing, err := modeOp(pt.Mode, pt.TempK)
 	if err != nil {
-		return Eval{}, err
+		return sim.LaneSpec{}, pipeline.CoreSpec{}, err
 	}
 	core, err := pf.DerivedCore(pt.Depth-pipeline.BaseDepth(), nomOp, op, sizing)
 	if err != nil {
-		return Eval{}, fmt.Errorf("dse: point %s: %w", pt, err)
+		return sim.LaneSpec{}, pipeline.CoreSpec{}, fmt.Errorf("dse: point %s: %w", pt, err)
 	}
 	kind, err := netKindByName(pt.Net)
 	if err != nil {
-		return Eval{}, err
+		return sim.LaneSpec{}, pipeline.CoreSpec{}, err
 	}
 	var timing = pf.BusTiming(nomOp)
 	if kind == sim.Mesh {
@@ -131,17 +130,12 @@ func evaluate(ctx context.Context, pf *platform.Platform, pt Point, prof workloa
 		Memory: mem.ForTemp(phys.Kelvin(pt.TempK)),
 		Cores:  evalCores,
 	}
-	if ctx != nil {
-		cfg = cfg.WithContext(ctx)
-	}
-	s, err := sim.New(d, prof, cfg)
-	if err != nil {
-		return Eval{}, fmt.Errorf("dse: point %s: %w", pt, err)
-	}
-	res, err := s.Run()
-	if err != nil {
-		return Eval{}, fmt.Errorf("dse: point %s: %w", pt, err)
-	}
+	return sim.LaneSpec{Design: d, Profile: prof, Config: cfg}, core, nil
+}
+
+// finishEval attaches the cooling-inclusive power metrics to a
+// candidate's simulation result.
+func finishEval(pf *platform.Platform, pt Point, core pipeline.CoreSpec, res sim.Result) Eval {
 	pw := pf.PowerModel()
 	e := Eval{
 		FreqGHz:         core.FreqGHz,
@@ -155,5 +149,30 @@ func evaluate(ctx context.Context, pf *platform.Platform, pt Point, prof workloa
 		e.PerfPerWatt = e.Performance / e.TotalPower
 		e.Energy = e.TotalPower / e.Performance
 	}
-	return e, nil
+	return e
+}
+
+// evaluate runs one candidate end to end through the single-run
+// engine: candidateSpec → sim.Run → finishEval. Deterministic: the
+// simulator seeds from cfg alone, so equal (point, cfg) pairs produce
+// bit-equal Evals at any worker count — and bit-equal to the same
+// candidate evaluated inside a batch, which drives the identical
+// spec through the identical lane code.
+func evaluate(ctx context.Context, pf *platform.Platform, pt Point, prof workload.Profile, cfg sim.Config) (Eval, error) {
+	sp, core, err := candidateSpec(pf, pt, prof, cfg)
+	if err != nil {
+		return Eval{}, err
+	}
+	if ctx != nil {
+		sp.Config = sp.Config.WithContext(ctx)
+	}
+	s, err := sim.New(sp.Design, sp.Profile, sp.Config)
+	if err != nil {
+		return Eval{}, fmt.Errorf("dse: point %s: %w", pt, err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		return Eval{}, fmt.Errorf("dse: point %s: %w", pt, err)
+	}
+	return finishEval(pf, pt, core, res), nil
 }

@@ -5,12 +5,26 @@ import (
 	"errors"
 	"time"
 
+	"cryowire/internal/platform"
+	"cryowire/internal/sim"
 	"cryowire/internal/workload"
 )
 
-// evalFn indirects candidate evaluation so tests can inject transient
-// failures; production always points at evaluate.
-var evalFn = evaluate
+// evalOverride, when non-nil, replaces candidate evaluation so tests
+// can inject transient failures. While installed, the engine takes the
+// per-point evaluation path (no batching) so the override observes
+// every attempt.
+var evalOverride func(ctx context.Context, pf *platform.Platform, pt Point, prof workload.Profile, cfg sim.Config) (Eval, error)
+
+// evalCandidate is the single-candidate evaluator behind the retry
+// policy: the test override when installed, the real pipeline
+// otherwise.
+func evalCandidate(ctx context.Context, pf *platform.Platform, pt Point, prof workload.Profile, cfg sim.Config) (Eval, error) {
+	if evalOverride != nil {
+		return evalOverride(ctx, pf, pt, prof, cfg)
+	}
+	return evaluate(ctx, pf, pt, prof, cfg)
+}
 
 // defaultRetryBackoff is the first-retry delay when Config.RetryBackoff
 // is unset but retries are enabled.
@@ -21,6 +35,15 @@ const defaultRetryBackoff = 100 * time.Millisecond
 // (point, sim config), a retried success is bit-equal to a first-try
 // success — retries change availability, never the result bytes.
 func retryEval(ctx context.Context, cfg Config, pt Point, prof workload.Profile) (Eval, error) {
+	return retryEvalFrom(ctx, cfg, pt, prof, 0, nil)
+}
+
+// retryEvalFrom is retryEval entered with `used` attempts already spent
+// and their last failure. The batched engine uses it for per-lane
+// retry: a lane that failed inside a batch has consumed attempt one,
+// and its retries run the point alone — the rest of the batch is never
+// re-run. used == 0 is a fresh evaluation.
+func retryEvalFrom(ctx context.Context, cfg Config, pt Point, prof workload.Profile, used int, lastErr error) (Eval, error) {
 	attempts := cfg.RetryAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -29,8 +52,10 @@ func retryEval(ctx context.Context, cfg Config, pt Point, prof workload.Profile)
 	if backoff <= 0 {
 		backoff = defaultRetryBackoff
 	}
-	var lastErr error
-	for a := 0; a < attempts; a++ {
+	if used > 0 && !retryable(ctx, lastErr) {
+		return Eval{}, lastErr
+	}
+	for a := used; a < attempts; a++ {
 		if a > 0 {
 			if cfg.RetryNotify != nil {
 				cfg.RetryNotify(lastErr)
@@ -43,7 +68,7 @@ func retryEval(ctx context.Context, cfg Config, pt Point, prof workload.Profile)
 			case <-t.C:
 			}
 		}
-		e, err := evalFn(ctx, cfg.Platform, pt, prof, cfg.Sim)
+		e, err := evalCandidate(ctx, cfg.Platform, pt, prof, cfg.Sim)
 		if err == nil {
 			return e, nil
 		}

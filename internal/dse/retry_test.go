@@ -37,12 +37,14 @@ func (f *flakyEval) eval(ctx context.Context, pf *platform.Platform, pt Point, p
 	return evaluate(ctx, pf, pt, prof, cfg)
 }
 
-// swapEval installs a test evaluator and restores the real one.
+// swapEval installs a test evaluator and restores the real one. While
+// installed, the engine runs candidates per point (no batching), so
+// the override sees every attempt.
 func swapEval(t *testing.T, fn func(context.Context, *platform.Platform, Point, workload.Profile, sim.Config) (Eval, error)) {
 	t.Helper()
-	prev := evalFn
-	evalFn = fn
-	t.Cleanup(func() { evalFn = prev })
+	prev := evalOverride
+	evalOverride = fn
+	t.Cleanup(func() { evalOverride = prev })
 }
 
 // TestRetryRecoversTransientFailures: with retry enabled, a search

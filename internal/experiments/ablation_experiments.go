@@ -162,28 +162,17 @@ func AblSnoopBenefit(opt Options) (*Report, error) {
 	noBarriers.BarriersPerMI = 0
 	workloads := []workload.Profile{p, noBarriers}
 	designs := []sim.Design{f.CHPMesh(), f.CHPCryoBus()}
-	perf := make([]float64, len(workloads)*len(designs))
-	errs := make([]error, len(perf))
-	if err := par.ForCtx(opt.Context(), len(perf), opt.Workers, func(i int) {
-		wl, d := workloads[i/len(designs)], designs[i%len(designs)]
-		s, err := sim.New(d, wl, opt.simCfg())
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		res, err := s.Run()
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		perf[i] = res.Performance
-	}); err != nil {
+	specs := make([]sim.LaneSpec, len(workloads)*len(designs))
+	for i := range specs {
+		specs[i] = sim.LaneSpec{Design: designs[i%len(designs)], Profile: workloads[i/len(designs)], Config: opt.simCfg()}
+	}
+	results, errs := opt.runSims(specs)
+	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	perf := make([]float64, len(specs))
+	for i := range results {
+		perf[i] = results[i].Performance
 	}
 	for wi, wl := range workloads {
 		mesh, bus := perf[wi*2], perf[wi*2+1]

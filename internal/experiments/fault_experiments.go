@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"cryowire/internal/fault"
-	"cryowire/internal/par"
 	"cryowire/internal/sim"
 	"cryowire/internal/workload"
 )
@@ -38,14 +37,13 @@ func FaultSweep(opt Options) (*Report, error) {
 		return nil, err
 	}
 	designs := evaluationDesigns(opt)
-	// The design×rate grid fans out over opt.Workers; each cell builds
-	// its own simulator from the same seeds, so the rows match a serial
-	// sweep exactly. The rel. IPC column needs each design's rate-0
-	// result, so rows are assembled after the grid completes.
+	// The design×rate grid runs through the batched runner; each cell
+	// builds its own lane from the same seeds, so the rows match a
+	// serial sweep exactly. The rel. IPC column needs each design's
+	// rate-0 result, so rows are assembled after the grid completes.
 	nr := len(rates)
-	results := make([]sim.Result, len(designs)*nr)
-	errs := make([]error, len(results))
-	if err := par.ForCtx(opt.Context(), len(results), opt.Workers, func(i int) {
+	specs := make([]sim.LaneSpec, len(designs)*nr)
+	for i := range specs {
 		d, rate := designs[i/nr], rates[i%nr]
 		cfg := opt.simCfg()
 		if rate > 0 {
@@ -55,23 +53,13 @@ func FaultSweep(opt Options) (*Report, error) {
 				FlitCorruptionRate: rate / 2,
 			}
 		}
-		s, err := sim.New(d, p, cfg)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		res, err := s.Run()
-		if err != nil {
-			errs[i] = fmt.Errorf("faultsweep: %s at rate %v: %w", d.Name, rate, err)
-			return
-		}
-		results[i] = res
-	}); err != nil {
-		return nil, err
+		specs[i] = sim.LaneSpec{Design: d, Profile: p, Config: cfg}
 	}
-	for _, err := range errs {
+	results, errs := opt.runSims(specs)
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("faultsweep: %s at rate %v: %w",
+				designs[i/nr].Name, rates[i%nr], err)
 		}
 	}
 	for di, d := range designs {

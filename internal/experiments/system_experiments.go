@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"cryowire/internal/core"
-	"cryowire/internal/par"
 	"cryowire/internal/pipeline"
 	"cryowire/internal/power"
 	"cryowire/internal/sim"
@@ -54,33 +53,23 @@ func Fig3(opt Options) (*Report, error) {
 	f := sim.NewFactoryWith(opt.platform())
 	d := f.Baseline300()
 	profiles := parsecSubset(opt)
+	specs := make([]sim.LaneSpec, len(profiles))
+	for i, p := range profiles {
+		specs[i] = sim.LaneSpec{Design: d, Profile: p, Config: opt.simCfg()}
+	}
+	results, errs := opt.runSims(specs)
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
 	rows := make([][]string, len(profiles))
 	shares := make([]float64, len(profiles))
-	errs := make([]error, len(profiles))
-	if err := par.ForCtx(opt.Context(), len(profiles), opt.Workers, func(i int) {
-		p := profiles[i]
-		s, err := sim.New(d, p, opt.simCfg())
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		res, err := s.Run()
-		if err != nil {
-			errs[i] = err
-			return
-		}
+	for i, p := range profiles {
+		res := results[i]
 		shares[i] = res.NoCShare()
 		rows[i] = []string{p.Name,
 			pct(res.Stack[sim.BucketBase]), pct(res.Stack[sim.BucketNoC]),
 			pct(res.Stack[sim.BucketL3]), pct(res.Stack[sim.BucketDRAM]),
 			pct(res.Stack[sim.BucketSync]), pct(shares[i])}
-	}); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
 	}
 	var sum, max float64
 	for _, share := range shares {
@@ -106,29 +95,18 @@ func Fig17(opt Options) (*Report, error) {
 	f := sim.NewFactoryWith(opt.platform())
 	designs := []sim.Design{f.IdealNoC77(), f.CHPMesh(), f.SharedBus77()}
 	profiles := parsecSubset(opt)
-	// Flatten the profile×design grid so every simulation fans out.
-	perf := make([]float64, len(profiles)*len(designs))
-	errs := make([]error, len(perf))
-	if err := par.ForCtx(opt.Context(), len(perf), opt.Workers, func(i int) {
-		p, d := profiles[i/len(designs)], designs[i%len(designs)]
-		s, err := sim.New(d, p, opt.simCfg())
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		res, err := s.Run()
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		perf[i] = res.Performance
-	}); err != nil {
+	// Flatten the profile×design grid so every simulation batches.
+	specs := make([]sim.LaneSpec, len(profiles)*len(designs))
+	for i := range specs {
+		specs[i] = sim.LaneSpec{Design: designs[i%len(designs)], Profile: profiles[i/len(designs)], Config: opt.simCfg()}
+	}
+	results, errs := opt.runSims(specs)
+	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	perf := make([]float64, len(specs))
+	for i := range results {
+		perf[i] = results[i].Performance
 	}
 	var meshSum, busSum float64
 	for pi, p := range profiles {
@@ -180,7 +158,7 @@ func Fig23(opt Options) (*Report, error) {
 		},
 	}
 	c := core.NewWith(opt.platform())
-	ev, err := c.Evaluate(evaluationDesigns(opt), parsecSubset(opt), 1, opt.simCfg())
+	ev, err := c.EvaluateWith(opt.runSims, evaluationDesigns(opt), parsecSubset(opt), 1, opt.simCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +205,7 @@ func Fig24(opt Options) (*Report, error) {
 		profiles = profiles[:3]
 	}
 	c := core.NewWith(opt.platform())
-	ev, err := c.Evaluate(designs, profiles, 1, opt.simCfg())
+	ev, err := c.EvaluateWith(opt.runSims, designs, profiles, 1, opt.simCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -338,33 +316,22 @@ func table3IPC(cores []pipeline.CoreSpec, opt Options) ([]float64, error) {
 		}
 	}
 	np := len(profiles)
-	ipc := make([]float64, len(cores)*np)
-	errs := make([]error, len(ipc))
-	if err := par.ForCtx(opt.Context(), len(ipc), opt.Workers, func(i int) {
+	specs := make([]sim.LaneSpec, len(cores)*np)
+	for i := range specs {
 		c := cores[i/np]
-		p := profiles[i%np]
 		d := f.CHPMesh()
 		c.FreqGHz = 4.0
 		d.Core = c
 		d.Name = c.Name + "@4GHz"
-		s, err := sim.New(d, p, opt.simCfg())
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		res, err := s.Run()
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		ipc[i] = res.IPC
-	}); err != nil {
+		specs[i] = sim.LaneSpec{Design: d, Profile: profiles[i%np], Config: opt.simCfg()}
+	}
+	results, errs := opt.runSims(specs)
+	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	ipc := make([]float64, len(specs))
+	for i := range results {
+		ipc[i] = results[i].IPC
 	}
 	out := make([]float64, len(cores))
 	for ci := range cores {

@@ -32,6 +32,11 @@ type Spec struct {
 	// Workers bounds the job's parallel evaluation fan-out (0 = all
 	// CPUs). Worker count never changes the result bytes.
 	Workers int `json:"workers"`
+	// BatchLanes is the lockstep batch width (0 = auto from Workers,
+	// negative = single-lane). Like Workers it is a scheduling knob:
+	// it never changes the result bytes, so recovered jobs may resume
+	// at a different width than they started.
+	BatchLanes int `json:"batch_lanes,omitempty"`
 }
 
 // SpecFromConfig extracts the durable spec from a resolved engine
@@ -50,6 +55,7 @@ func SpecFromConfig(cfg dse.Config) Spec {
 		MeasureCycles: cfg.Sim.MeasureCycles,
 		SimSeed:       cfg.Sim.Seed,
 		Workers:       cfg.Workers,
+		BatchLanes:    cfg.BatchLanes,
 	}
 }
 
@@ -71,12 +77,13 @@ func (sp Spec) Config() (dse.Config, error) {
 		return dse.Config{}, fmt.Errorf("jobs: spec: %w", err)
 	}
 	return dse.Config{
-		Space:    space,
-		Strategy: sp.Strategy,
-		Budget:   sp.Budget,
-		Seed:     sp.Seed,
-		Sim:      sim.Config{WarmupCycles: sp.WarmupCycles, MeasureCycles: sp.MeasureCycles, Seed: sp.SimSeed},
-		Workers:  sp.Workers,
+		Space:      space,
+		Strategy:   sp.Strategy,
+		Budget:     sp.Budget,
+		Seed:       sp.Seed,
+		Sim:        sim.Config{WarmupCycles: sp.WarmupCycles, MeasureCycles: sp.MeasureCycles, Seed: sp.SimSeed},
+		Workers:    sp.Workers,
+		BatchLanes: sp.BatchLanes,
 	}, nil
 }
 

@@ -28,6 +28,10 @@ type dseDTO struct {
 	Quick bool `json:"quick"`
 	// Workers bounds the parallel evaluation fan-out.
 	Workers int `json:"workers"`
+	// BatchLanes sets the lockstep batch width (0 = auto from workers).
+	// A scheduling knob like workers: excluded from the cache key
+	// because batching never changes the result bytes.
+	BatchLanes int `json:"batch_lanes"`
 	// TempsK, Modes, Depths, Nets and Workloads override one axis each.
 	TempsK    []float64 `json:"temps_k"`
 	Modes     []string  `json:"modes"`
@@ -59,6 +63,9 @@ func (d dseDTO) dseConfig() (dse.Config, error) {
 func (d dseDTO) resolve(maxEvals int) (dse.Config, error) {
 	if d.Budget < 0 || d.Workers < 0 {
 		return dse.Config{}, badRequest("budget and workers must be >= 0")
+	}
+	if d.BatchLanes < 0 {
+		return dse.Config{}, badRequest("batch_lanes must be >= 0")
 	}
 	if d.Config.WarmupCycles < 0 || d.Config.MeasureCycles < 0 {
 		return dse.Config{}, badRequest("cycle counts must be >= 0")
@@ -121,19 +128,20 @@ func (d dseDTO) resolve(maxEvals int) (dse.Config, error) {
 		return dse.Config{}, badRequest("%v", err)
 	}
 	return dse.Config{
-		Space:    space,
-		Strategy: strategy,
-		Budget:   d.Budget,
-		Seed:     d.Seed,
-		Sim:      cfg,
-		Workers:  d.Workers,
+		Space:      space,
+		Strategy:   strategy,
+		Budget:     d.Budget,
+		Seed:       d.Seed,
+		Sim:        cfg,
+		Workers:    d.Workers,
+		BatchLanes: d.BatchLanes,
 	}, nil
 }
 
 // canonicalDSE renders the resolved search canonically for the cache
-// key. Everything Result depends on is included; workers is not
-// (worker count never changes the output, by the engine's determinism
-// contract).
+// key. Everything Result depends on is included; workers and
+// batch_lanes are not (neither scheduling knob changes the output, by
+// the engine's determinism contract).
 func canonicalDSE(cfg dse.Config) string {
 	s := cfg.Space
 	return canonicalKey("dse",

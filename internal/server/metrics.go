@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cryowire/internal/jobs"
+	"cryowire/internal/sim"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. The grid is
@@ -130,6 +131,19 @@ func (m *metrics) renderProm(lru lruStats, pf platformStats, js *jobs.Stats) str
 
 	counter("cryowire_platform_cache_hits_total", "Model-derivation calls served from the shared platform cache.", pf.Hits)
 	counter("cryowire_platform_cache_misses_total", "Model artifacts actually derived by the shared platform cache.", pf.Misses)
+
+	bs := sim.ReadBatchStats()
+	counter("cryowire_sim_batches_total", "Lockstep simulation batches run.", bs.Batches)
+	counter("cryowire_sim_batch_lanes_total", "Simulation lanes carried by lockstep batches.", bs.Lanes)
+	counter("cryowire_sim_batch_cache_hits_total", "Lane specs served by batch dedup instead of simulating.", bs.CacheHits)
+	counter("cryowire_sim_batch_cache_misses_total", "Lane specs actually simulated by the batch runner.", bs.CacheMisses)
+	counter("cryowire_sim_batch_lane_failures_total", "Lanes that ended in a per-lane error.", bs.LaneFailures)
+	gauge("cryowire_sim_batch_lanes", "Simulation lanes currently running in lockstep batches.", float64(bs.ActiveLanes))
+	occupancy := 0.0
+	if bs.Batches > 0 {
+		occupancy = float64(bs.Lanes) / float64(bs.Batches)
+	}
+	gauge("cryowire_sim_batch_occupancy", "Mean lanes per batch over the process lifetime.", occupancy)
 
 	if js != nil {
 		counter("cryowire_http_rate_limited_total", "Job submissions rejected with 429 by the per-client token bucket.", m.rejectedRate.Load())

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+
+	"cryowire/internal/workload"
+)
+
+// LaneSpec names one simulation to run: the design × workload × config
+// triple a lane is built from. It is the unit the BatchRunner dedups
+// and batches over.
+type LaneSpec struct {
+	Design  Design
+	Profile workload.Profile
+	Config  Config
+}
+
+// LaneError is the typed per-lane failure of a batched run: it names
+// which lane (position in the submitted spec slice) failed and on what
+// design × workload, and wraps the underlying cause so errors.Is/As see
+// through it (context cancellation, *StallError, validation errors).
+// One failed lane never aborts its batch — the other lanes run to
+// completion and return their own results.
+type LaneError struct {
+	// Lane is the index of the failed spec in the slice the caller
+	// submitted (to NewBatch or BatchRunner.RunCtx).
+	Lane int
+	// Design and Workload echo the failed spec.
+	Design   string
+	Workload string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *LaneError) Error() string {
+	return fmt.Sprintf("sim: lane %d (%s/%s): %v", e.Lane, e.Design, e.Workload, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *LaneError) Unwrap() error { return e.Err }
+
+// batchStride is how many cycles a lane advances per lockstep turn.
+// Lanes are fully independent, so the stride is invisible in the
+// results — it only sets the granularity at which the shared loop
+// rotates between lanes, long enough that each lane's pools and wheel
+// stay hot in cache across its turn, short enough that the lanes'
+// working sets time-share the cache rather than evicting each other
+// wholesale.
+const batchStride = 64
+
+// Batch drives N lanes through one shared cycle loop in lockstep. The
+// lanes are stored in structure-of-arrays form ([]lane, []runControl,
+// []Result, []error) so the loop walks flat slices. Each lane owns its
+// RNG, timing wheel, pools and networks — nothing is shared — so every
+// lane's Result is bit-identical to the same spec run alone through
+// System.Run, regardless of batch size or membership.
+type Batch struct {
+	lanes   []lane
+	rcs     []runControl
+	results []Result
+	errs    []error
+}
+
+// NewBatch builds one lane per spec. A spec that fails validation gets
+// a *LaneError recorded in its slot instead of failing the batch; the
+// remaining lanes are unaffected.
+func NewBatch(specs []LaneSpec) *Batch {
+	b := &Batch{
+		lanes:   make([]lane, len(specs)),
+		rcs:     make([]runControl, len(specs)),
+		results: make([]Result, len(specs)),
+		errs:    make([]error, len(specs)),
+	}
+	for i, sp := range specs {
+		if err := b.lanes[i].init(sp.Design, sp.Profile, sp.Config); err != nil {
+			b.errs[i] = &LaneError{Lane: i, Design: sp.Design.Name, Workload: sp.Profile.Name, Err: err}
+		}
+	}
+	return b
+}
+
+// Run advances all lanes to completion and returns their results and
+// errors, index-aligned with the specs. A lane that fails (watchdog
+// stall, context cancellation) stops advancing and yields a *LaneError
+// in its slot; the other lanes keep running. Run blocks until every
+// lane has finished or failed.
+func (b *Batch) Run() ([]Result, []error) {
+	live := 0
+	for i := range b.lanes {
+		if b.errs[i] != nil {
+			continue
+		}
+		b.lanes[i].beginRun(&b.rcs[i])
+		live++
+	}
+	bstats.batches.Add(1)
+	bstats.lanes.Add(uint64(live))
+	bstats.activeBatches.Add(1)
+	bstats.activeLanes.Add(int64(live))
+	defer bstats.activeBatches.Add(-1)
+
+	for live > 0 {
+		for i := range b.lanes {
+			rc := &b.rcs[i]
+			if b.errs[i] != nil || rc.finished {
+				continue
+			}
+			ln := &b.lanes[i]
+			for k := 0; k < batchStride && !rc.finished && rc.err == nil; k++ {
+				ln.runCycle(rc)
+			}
+			if rc.err != nil {
+				b.errs[i] = &LaneError{Lane: i, Design: ln.design.Name, Workload: ln.prof.Name, Err: rc.err}
+				bstats.laneFailures.Add(1)
+				live--
+				bstats.activeLanes.Add(-1)
+				continue
+			}
+			if rc.finished {
+				b.results[i] = ln.buildResult(rc)
+				live--
+				bstats.activeLanes.Add(-1)
+			}
+		}
+	}
+	return b.results, b.errs
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cryowire/internal/workload"
+)
+
+// batchTestCfg keeps the batch property tests fast: results only need
+// to be compared, not statistically meaningful.
+func batchTestCfg() Config { return Config{WarmupCycles: 600, MeasureCycles: 2000, Seed: 1} }
+
+// batchTestSpecs returns a mixed grid of specs: different designs,
+// workloads and seeds, including snooping and directory protocols.
+func batchTestSpecs(t *testing.T) []LaneSpec {
+	t.Helper()
+	f := NewFactory()
+	designs := []Design{f.Baseline300(), f.CHPMesh(), f.CHPCryoBus()}
+	var specs []LaneSpec
+	for wi, wl := range []string{"ferret", "streamcluster"} {
+		p, err := workload.ByName(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for di, d := range designs {
+			cfg := batchTestCfg()
+			cfg.Seed = int64(1 + wi*len(designs) + di)
+			specs = append(specs, LaneSpec{Design: d, Profile: p, Config: cfg})
+		}
+	}
+	return specs
+}
+
+// standalone runs one spec through the classic single-run engine.
+func standalone(t *testing.T, sp LaneSpec) Result {
+	t.Helper()
+	s, err := New(sp.Design, sp.Profile, sp.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestBatchOfOneMatchesRun is the batch-of-one identity guarantee: a
+// single-lane batch produces exactly the bytes System.Run produces.
+// Result contains only comparable fields, so == is byte equality.
+func TestBatchOfOneMatchesRun(t *testing.T) {
+	for _, sp := range batchTestSpecs(t) {
+		want := standalone(t, sp)
+		res, errs := NewBatch([]LaneSpec{sp}).Run()
+		if errs[0] != nil {
+			t.Fatalf("%s/%s: %v", sp.Design.Name, sp.Profile.Name, errs[0])
+		}
+		if res[0] != want {
+			t.Errorf("%s/%s: batch-of-one diverged:\n got %+v\nwant %+v",
+				sp.Design.Name, sp.Profile.Name, res[0], want)
+		}
+	}
+}
+
+// TestBatchLaneIsolation is the shuffled-batch property test: permuting
+// batch membership and batch size never changes any lane's Result.
+// Each spec's reference comes from a standalone run; every permutation
+// × batch size must reproduce it bit-for-bit.
+func TestBatchLaneIsolation(t *testing.T) {
+	specs := batchTestSpecs(t)
+	want := make([]Result, len(specs))
+	for i, sp := range specs {
+		want[i] = standalone(t, sp)
+	}
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0},
+		{3, 0, 5, 1, 4, 2},
+		{2, 5, 0, 4, 1, 3},
+	}
+	for _, lanes := range []int{1, 2, 3, 5, 8} {
+		r := &BatchRunner{Lanes: lanes}
+		for pi, perm := range perms {
+			shuffled := make([]LaneSpec, len(perm))
+			for k, i := range perm {
+				shuffled[k] = specs[i]
+			}
+			res, errs := r.RunCtx(context.Background(), shuffled)
+			for k, i := range perm {
+				if errs[k] != nil {
+					t.Fatalf("lanes=%d perm=%d lane %d: %v", lanes, pi, k, errs[k])
+				}
+				if res[k] != want[i] {
+					t.Errorf("lanes=%d perm=%d: spec %d diverged inside batch:\n got %+v\nwant %+v",
+						lanes, pi, i, res[k], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRunnerDedup checks that identical specs are simulated once
+// and still all receive the right result, and that a ResultCache
+// carries completions across calls.
+func TestBatchRunnerDedup(t *testing.T) {
+	specs := batchTestSpecs(t)
+	dup := append(append([]LaneSpec{}, specs...), specs[0], specs[3])
+	want := make([]Result, len(specs))
+	for i, sp := range specs {
+		want[i] = standalone(t, sp)
+	}
+	cache := NewResultCache()
+	r := &BatchRunner{Cache: cache}
+	res, errs := r.RunCtx(context.Background(), dup)
+	for k := range dup {
+		if errs[k] != nil {
+			t.Fatalf("lane %d: %v", k, errs[k])
+		}
+	}
+	for i := range specs {
+		if res[i] != want[i] {
+			t.Errorf("spec %d diverged", i)
+		}
+	}
+	if res[len(specs)] != want[0] || res[len(specs)+1] != want[3] {
+		t.Error("in-call duplicate got wrong result")
+	}
+	if got := len(cache.m); got != len(specs) {
+		t.Errorf("cache holds %d entries, want %d (duplicates must not re-simulate)", got, len(specs))
+	}
+	// Second call: everything served from the cache.
+	res2, errs2 := r.RunCtx(context.Background(), specs)
+	for i := range specs {
+		if errs2[i] != nil {
+			t.Fatalf("cached lane %d: %v", i, errs2[i])
+		}
+		if res2[i] != want[i] {
+			t.Errorf("cached spec %d diverged", i)
+		}
+	}
+}
+
+// TestBatchLaneErrorIsolation mixes a failing lane (invalid design) and
+// a pre-canceled lane into a healthy batch: the healthy lanes must
+// still match their standalone references, and the failures must be
+// typed *LaneErrors that unwrap to their causes.
+func TestBatchLaneErrorIsolation(t *testing.T) {
+	specs := batchTestSpecs(t)[:3]
+	want := make([]Result, len(specs))
+	for i, sp := range specs {
+		want[i] = standalone(t, sp)
+	}
+	bad := specs[0]
+	bad.Design.Cores = 1 // fails Validate
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stuck := specs[1]
+	stuck.Config.Seed = 999 // distinct fingerprint: must not dedup against specs[1]
+	stuck.Config = stuck.Config.WithContext(canceledCtx)
+
+	mixed := []LaneSpec{specs[0], bad, specs[1], stuck, specs[2]}
+	r := &BatchRunner{Lanes: len(mixed)}
+	res, errs := r.RunCtx(context.Background(), mixed)
+
+	for k, i := range map[int]int{0: 0, 2: 1, 4: 2} {
+		if errs[k] != nil {
+			t.Fatalf("healthy lane %d: %v", k, errs[k])
+		}
+		if res[k] != want[i] {
+			t.Errorf("healthy lane %d diverged from standalone reference", k)
+		}
+	}
+	var le *LaneError
+	if !errors.As(errs[1], &le) {
+		t.Fatalf("invalid-design lane error %T, want *LaneError", errs[1])
+	}
+	if le.Lane != 1 {
+		t.Errorf("LaneError.Lane = %d, want 1", le.Lane)
+	}
+	if !errors.As(errs[3], &le) || !errors.Is(errs[3], context.Canceled) {
+		t.Errorf("canceled lane error = %v, want *LaneError wrapping context.Canceled", errs[3])
+	}
+	if le.Lane != 3 {
+		t.Errorf("LaneError.Lane = %d, want 3", le.Lane)
+	}
+}
+
+// TestBatchedStepAllocs pins the allocation-free steady state of the
+// batched cycle loop: once warmed, advancing lanes through runCycle
+// allocates nothing per turn.
+func TestBatchedStepAllocs(t *testing.T) {
+	specs := batchTestSpecs(t)[:3]
+	for i := range specs {
+		specs[i].Config = Config{WarmupCycles: 1 << 30, MeasureCycles: 1 << 30, Seed: specs[i].Config.Seed,
+			Watchdog: Watchdog{Disabled: true}}
+	}
+	b := NewBatch(specs)
+	for i := range b.lanes {
+		if b.errs[i] != nil {
+			t.Fatal(b.errs[i])
+		}
+		b.lanes[i].beginRun(&b.rcs[i])
+	}
+	turn := func() {
+		for i := range b.lanes {
+			for k := 0; k < batchStride; k++ {
+				b.lanes[i].runCycle(&b.rcs[i])
+			}
+		}
+	}
+	// Warm the pools well past the startup transient.
+	for n := 0; n < 256; n++ {
+		turn()
+	}
+	// The single-run engine amortizes to <0.1 allocs per cycle (pool
+	// high-water trickle; BenchmarkSystemStep reports 0 allocs/op,
+	// ~10 B/op). The batched path must stay in that regime: a bound of
+	// 0.25 allocs per lane-cycle tolerates the trickle while failing
+	// loudly on any new per-cycle allocation (which would be ≥ 1.0).
+	laneCycles := float64(len(b.lanes) * batchStride)
+	avg := testing.AllocsPerRun(500, turn) / laneCycles
+	if avg > 0.25 {
+		t.Errorf("batched stepping allocates %.3f objects/lane-cycle, want ~0", avg)
+	}
+}

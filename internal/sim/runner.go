@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cryowire/internal/fault"
+	"cryowire/internal/par"
+)
+
+// fingerprint canonicalizes the spec for dedup. Evaluation is a pure
+// function of (Design, Profile, Config) — the determinism contract the
+// golden fixtures pin — so two specs with equal fingerprints produce
+// byte-identical Results. The context and Workers knobs never change
+// the output bytes and are excluded; Fault is dereferenced so equal
+// scenarios match regardless of pointer identity. Every reachable
+// field is a value type (strings, numbers, bools, fixed structs), so
+// %#v renders a canonical string: Go's float formatting is
+// shortest-round-trip, meaning distinct values always print distinctly.
+func (sp LaneSpec) fingerprint() string {
+	cfg := sp.Config
+	cfg.ctx = nil
+	cfg.Workers = 0
+	var fc fault.Config
+	hasFault := cfg.Fault != nil
+	if hasFault {
+		fc = *cfg.Fault
+	}
+	cfg.Fault = nil
+	return fmt.Sprintf("%#v|%#v|%#v|%v|%#v", sp.Design, sp.Profile, cfg, hasFault, fc)
+}
+
+// ResultCache memoizes completed simulations by spec fingerprint, so a
+// sweep that revisits a configuration (experiments share rows; DSE
+// strategies re-propose grid corners) serves it without re-simulating.
+// Safe for concurrent use. Only successful Results are cached — errors
+// always re-run.
+type ResultCache struct {
+	mu sync.Mutex
+	m  map[string]Result
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{m: make(map[string]Result)}
+}
+
+func (c *ResultCache) get(key string) (Result, bool) {
+	c.mu.Lock()
+	r, ok := c.m[key]
+	c.mu.Unlock()
+	return r, ok
+}
+
+func (c *ResultCache) put(key string, r Result) {
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+// DefaultMaxBatchLanes caps auto-sized batches: past this lane count
+// the combined working sets thrash the cache and lockstep stops paying.
+const DefaultMaxBatchLanes = 16
+
+// BatchRunner runs a slice of LaneSpecs through the lockstep Batch
+// engine: it dedups identical specs (within the call and, with Cache,
+// across calls), partitions the remainder into batches, and runs the
+// batches — in parallel when Workers > 1. Results are index-aligned
+// with the submitted specs and bit-identical to running each spec
+// alone through System.Run.
+type BatchRunner struct {
+	// Lanes is the lane count per batch; 0 or negative picks an
+	// automatic size (pending specs split evenly across Workers, capped
+	// at DefaultMaxBatchLanes).
+	Lanes int
+	// Workers bounds concurrent batches; 0 or 1 runs batches serially.
+	Workers int
+	// Cache, when non-nil, serves previously completed specs without
+	// re-simulating and records new completions.
+	Cache *ResultCache
+}
+
+// LanesFor reports the batch size the runner would use for n pending
+// specs (after dedup) — the value benchsim records as batch_lanes.
+func (r *BatchRunner) LanesFor(n int) int {
+	if r.Lanes > 0 {
+		return r.Lanes
+	}
+	w := r.Workers
+	if w < 1 {
+		w = 1
+	}
+	l := (n + w - 1) / w
+	if l > DefaultMaxBatchLanes {
+		l = DefaultMaxBatchLanes
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// RunCtx runs every spec and returns results and errors index-aligned
+// with specs. Failures are per-lane *LaneErrors (Lane = index into
+// specs); one failed spec never aborts the others. ctx cancels the
+// whole call: lanes already running stop at their next cancellation
+// poll, batches not yet started are skipped, and every unfinished spec
+// reports a *LaneError wrapping ctx's error. Specs whose Config
+// already carries a context keep it; the rest inherit ctx.
+func (r *BatchRunner) RunCtx(ctx context.Context, specs []LaneSpec) ([]Result, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	run := make([]LaneSpec, len(specs))
+	copy(run, specs)
+	for i := range run {
+		if run[i].Config.ctx == nil {
+			run[i].Config = run[i].Config.WithContext(ctx)
+		}
+	}
+
+	// Dedup: cache hits resolve immediately; within the call the first
+	// occurrence of a fingerprint runs and later ones share its slot.
+	keys := make([]string, len(run))
+	primary := make(map[string]int, len(run))
+	dups := make(map[int]int)
+	pending := make([]int, 0, len(run))
+	for i := range run {
+		keys[i] = run[i].fingerprint()
+		if r.Cache != nil {
+			if res, ok := r.Cache.get(keys[i]); ok {
+				results[i] = res
+				bstats.cacheHits.Add(1)
+				continue
+			}
+		}
+		if j, ok := primary[keys[i]]; ok {
+			dups[i] = j
+			bstats.cacheHits.Add(1)
+			continue
+		}
+		primary[keys[i]] = i
+		pending = append(pending, i)
+	}
+	bstats.cacheMisses.Add(uint64(len(pending)))
+
+	// Partition into batches and run them.
+	lanes := r.LanesFor(len(pending))
+	var batches [][]int
+	for start := 0; start < len(pending); start += lanes {
+		end := start + lanes
+		if end > len(pending) {
+			end = len(pending)
+		}
+		batches = append(batches, pending[start:end])
+	}
+	ran := make([]bool, len(batches))
+	runBatch := func(bi int) {
+		ran[bi] = true
+		idxs := batches[bi]
+		bs := make([]LaneSpec, len(idxs))
+		for k, si := range idxs {
+			bs[k] = run[si]
+		}
+		res, es := NewBatch(bs).Run()
+		for k, si := range idxs {
+			if le, ok := es[k].(*LaneError); ok {
+				errs[si] = &LaneError{Lane: si, Design: le.Design, Workload: le.Workload, Err: le.Err}
+				continue
+			}
+			results[si] = res[k]
+			if r.Cache != nil {
+				r.Cache.put(keys[si], res[k])
+			}
+		}
+	}
+	perr := error(nil)
+	if r.Workers > 1 && len(batches) > 1 {
+		perr = par.ForCtx(ctx, len(batches), r.Workers, runBatch)
+	} else {
+		for bi := range batches {
+			if err := ctx.Err(); err != nil {
+				break
+			}
+			runBatch(bi)
+		}
+	}
+	// Batches skipped by cancellation: stamp their specs.
+	for bi, ok := range ran {
+		if ok {
+			continue
+		}
+		cause := ctx.Err()
+		if cause == nil {
+			cause = perr
+		}
+		if cause == nil {
+			cause = context.Canceled
+		}
+		for _, si := range batches[bi] {
+			errs[si] = &LaneError{Lane: si, Design: run[si].Design.Name, Workload: run[si].Profile.Name, Err: cause}
+		}
+	}
+	// Resolve in-call duplicates against their primaries.
+	for i, j := range dups {
+		if errs[j] != nil {
+			le := errs[j].(*LaneError)
+			errs[i] = &LaneError{Lane: i, Design: le.Design, Workload: le.Workload, Err: le.Err}
+			continue
+		}
+		results[i] = results[j]
+	}
+	return results, errs
+}
+
+// BatchStats is the package-wide batching telemetry snapshot exposed
+// on /metrics.
+type BatchStats struct {
+	// Batches and Lanes count completed-or-started batch runs and the
+	// lanes they carried (occupancy = Lanes / Batches).
+	Batches uint64
+	Lanes   uint64
+	// CacheHits counts specs served by dedup (result cache or in-call
+	// duplicate); CacheMisses counts specs actually simulated.
+	CacheHits   uint64
+	CacheMisses uint64
+	// LaneFailures counts lanes that ended in a LaneError.
+	LaneFailures uint64
+	// ActiveBatches and ActiveLanes are the currently running gauges.
+	ActiveBatches int64
+	ActiveLanes   int64
+}
+
+var bstats struct {
+	batches, lanes             atomic.Uint64
+	cacheHits, cacheMisses     atomic.Uint64
+	laneFailures               atomic.Uint64
+	activeBatches, activeLanes atomic.Int64
+}
+
+// ReadBatchStats snapshots the batching counters.
+func ReadBatchStats() BatchStats {
+	return BatchStats{
+		Batches:       bstats.batches.Load(),
+		Lanes:         bstats.lanes.Load(),
+		CacheHits:     bstats.cacheHits.Load(),
+		CacheMisses:   bstats.cacheMisses.Load(),
+		LaneFailures:  bstats.laneFailures.Load(),
+		ActiveBatches: bstats.activeBatches.Load(),
+		ActiveLanes:   bstats.activeLanes.Load(),
+	}
+}

@@ -254,8 +254,16 @@ type txn struct {
 	phase StallBucket
 }
 
-// System is a constructed simulation ready to run.
-type System struct {
+// lane is the complete per-run mutable state of one simulation: the
+// design × profile × config triple plus every pool, queue, timing
+// wheel, RNG and counter the cycle loop touches. A System owns exactly
+// one lane; a Batch owns N of them in structure-of-arrays form
+// ([]lane) and drives them through one shared cycle loop. Lanes never
+// share mutable state — each has its own seeded RNG, wheel and free
+// lists — so a lane inside a batch is bit-identical to the same
+// simulation run alone. A lane must not be copied after init: the
+// network delivery hooks capture its address.
+type lane struct {
 	design Design
 	prof   workload.Profile
 	cfg    Config
@@ -317,6 +325,14 @@ type System struct {
 	stackCycl [bucketCount]float64
 }
 
+// System is a constructed simulation ready to run — the single-lane
+// view of the engine. Every engine method lives on the embedded lane,
+// so the public API (Step, Run) is unchanged while Batch drives the
+// same code over many lanes.
+type System struct {
+	lane
+}
+
 type injEvent struct {
 	pkt *noc.Packet
 	t   *txn
@@ -354,27 +370,37 @@ type coreState struct {
 
 // New builds a system for the design × workload pair.
 func New(d Design, p workload.Profile, cfg Config) (*System, error) {
-	if err := d.Validate(); err != nil {
+	s := &System{}
+	if err := s.lane.init(d, p, cfg); err != nil {
 		return nil, err
+	}
+	return s, nil
+}
+
+// init builds the lane in place for the design × workload pair. It is
+// the whole of the former System constructor; NewBatch calls it on
+// preallocated []lane slots so the delivery hooks capture stable
+// addresses.
+func (s *lane) init(d Design, p workload.Profile, cfg Config) error {
+	if err := d.Validate(); err != nil {
+		return err
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	s := &System{
-		design: d,
-		prof:   p,
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-	}
+	s.design = d
+	s.prof = p
+	s.cfg = cfg
+	s.rng = rand.New(rand.NewSource(cfg.Seed))
 	if cfg.Fault != nil && cfg.Fault.Active() {
 		inj, err := fault.New(*cfg.Fault)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s.inj = inj
 	}
 	if err := s.buildNetwork(); err != nil {
-		return nil, err
+		return err
 	}
 	if d.Memory.Temp < phys.T300 {
 		s.dram = dram.NewMemory(dram.CLLDRAM(), dramChannels, dramBanks)
@@ -402,7 +428,7 @@ func New(d Design, p workload.Profile, cfg Config) (*System, error) {
 	s.lockIntv = s.lockInterval()
 	s.barrierIntv = s.barrierInterval()
 	s.l3Cyc = s.l3CyclesDerive()
-	return s, nil
+	return nil
 }
 
 // --- hot-path allocation pools ---------------------------------------------
@@ -417,7 +443,7 @@ func New(d Design, p workload.Profile, cfg Config) (*System, error) {
 // coherence.Transaction keeps its slice capacity across recycles (the
 // protocol's AccessInto resets and refills it), so a warmed pool makes
 // coherence accesses allocation-free.
-func (s *System) newTxn() *txn {
+func (s *lane) newTxn() *txn {
 	if n := len(s.txnFree); n > 0 {
 		t := s.txnFree[n-1]
 		s.txnFree = s.txnFree[:n-1]
@@ -430,10 +456,10 @@ func (s *System) newTxn() *txn {
 }
 
 // freeTxn recycles a retired transaction.
-func (s *System) freeTxn(t *txn) { s.txnFree = append(s.txnFree, t) }
+func (s *lane) freeTxn(t *txn) { s.txnFree = append(s.txnFree, t) }
 
 // newPacket returns a zeroed packet from the pool.
-func (s *System) newPacket() *noc.Packet {
+func (s *lane) newPacket() *noc.Packet {
 	if n := len(s.pktFree); n > 0 {
 		p := s.pktFree[n-1]
 		s.pktFree = s.pktFree[:n-1]
@@ -446,10 +472,10 @@ func (s *System) newPacket() *noc.Packet {
 // freePacket recycles a delivered packet. Networks drop their reference
 // the moment the delivery hook returns, so the hook is the unique safe
 // recycling point.
-func (s *System) freePacket(p *noc.Packet) { s.pktFree = append(s.pktFree, p) }
+func (s *lane) freePacket(p *noc.Packet) { s.pktFree = append(s.pktFree, p) }
 
 // newEvent returns a zeroed schedule event from the pool.
-func (s *System) newEvent() *injEvent {
+func (s *lane) newEvent() *injEvent {
 	if n := len(s.evFree); n > 0 {
 		ev := s.evFree[n-1]
 		s.evFree = s.evFree[:n-1]
@@ -460,11 +486,11 @@ func (s *System) newEvent() *injEvent {
 }
 
 // freeEvent recycles a fired schedule event.
-func (s *System) freeEvent(ev *injEvent) { s.evFree = append(s.evFree, ev) }
+func (s *lane) freeEvent(ev *injEvent) { s.evFree = append(s.evFree, ev) }
 
 // trackInflight registers a successfully injected packet: it takes a
 // slot, stamps the intrusive reference into the packet, and counts it.
-func (s *System) trackInflight(p *noc.Packet, t *txn, inv bool) {
+func (s *lane) trackInflight(p *noc.Packet, t *txn, inv bool) {
 	var idx int32
 	if n := len(s.freeSlots); n > 0 {
 		idx = s.freeSlots[n-1]
@@ -479,14 +505,14 @@ func (s *System) trackInflight(p *noc.Packet, t *txn, inv bool) {
 }
 
 // releaseSlot frees a delivered packet's slot.
-func (s *System) releaseSlot(idx int32) {
+func (s *lane) releaseSlot(idx int32) {
 	s.slots[idx] = inflightSlot{}
 	s.freeSlots = append(s.freeSlots, idx)
 	s.inflightN--
 }
 
 // lockInterval is committed instructions between contended lock ops.
-func (s *System) lockInterval() float64 {
+func (s *lane) lockInterval() float64 {
 	if s.prof.LockMPKI <= 0 {
 		return math.Inf(1)
 	}
@@ -498,7 +524,7 @@ func (s *System) lockInterval() float64 {
 // every invalid shape is an error, not a panic. The request network
 // degrades under the "req" fault domain and the data network under
 // "data": physically distinct wire sets fail independently.
-func (s *System) buildNetwork() error {
+func (s *lane) buildNetwork() error {
 	d := s.design
 	mkShared := func() *noc.Bus {
 		return noc.NewBus(noc.BusConfig{
@@ -565,7 +591,7 @@ func (s *System) buildNetwork() error {
 // --- per-core rate derivations -------------------------------------------
 
 // freqRatio is core cycles per NoC cycle.
-func (s *System) freqRatio() float64 {
+func (s *lane) freqRatio() float64 {
 	return s.design.Core.FreqGHz / s.design.NoC.FreqGHz
 }
 
@@ -573,7 +599,7 @@ func (s *System) freqRatio() float64 {
 // L2-miss-free memory system: issue-width/ILP limit, branch cost at the
 // design's pipeline depth, and the (mostly overlapped) L1-miss/L2-hit
 // component.
-func (s *System) unstalledRate() float64 {
+func (s *lane) unstalledRate() float64 {
 	p := s.prof
 	c := s.design.Core
 	effILP := p.ILP * structureFactor(c.ROB)
@@ -597,7 +623,7 @@ func structureFactor(rob int) float64 {
 
 // instrPerMiss is the mean committed-instruction gap between L2 misses,
 // after prefetch coverage.
-func (s *System) instrPerMiss() float64 {
+func (s *lane) instrPerMiss() float64 {
 	mpki := s.prof.L2MPKI
 	if s.design.Prefetch.Enabled {
 		mpki *= 1 - s.design.Prefetch.Coverage
@@ -610,7 +636,7 @@ func (s *System) instrPerMiss() float64 {
 
 // mlpCap is the hard in-flight miss window set by the load queue; the
 // softer dependence-driven limit comes from blocking misses (1/MLP).
-func (s *System) mlpCap() int {
+func (s *lane) mlpCap() int {
 	cap := s.design.Core.LoadQ / 4
 	if cap < 2 {
 		cap = 2
@@ -619,7 +645,7 @@ func (s *System) mlpCap() int {
 }
 
 // blockProb is the probability a miss is a dependent (blocking) one.
-func (s *System) blockProb() float64 {
+func (s *lane) blockProb() float64 {
 	mlp := s.prof.MLP
 	// Smaller backends extract less MLP (CryoCore halves the LQ/ROB).
 	mlp *= math.Pow(float64(s.design.Core.LoadQ)/72.0, 0.15)
@@ -630,7 +656,7 @@ func (s *System) blockProb() float64 {
 }
 
 // barrierInterval is committed instructions between barriers.
-func (s *System) barrierInterval() float64 {
+func (s *lane) barrierInterval() float64 {
 	if s.prof.BarriersPerMI <= 0 {
 		return math.Inf(1)
 	}
@@ -638,6 +664,6 @@ func (s *System) barrierInterval() float64 {
 }
 
 // expRand draws a unit-mean exponential jitter.
-func (s *System) expRand() float64 {
+func (s *lane) expRand() float64 {
 	return s.rng.ExpFloat64()
 }
