@@ -27,6 +27,7 @@ import (
 	"cryowire/internal/experiments"
 	"cryowire/internal/phys"
 	"cryowire/internal/sim"
+	"cryowire/internal/stage"
 	"cryowire/internal/wire"
 	"cryowire/internal/workload"
 )
@@ -74,6 +75,13 @@ type report struct {
 	// cache, at BatchLanes lanes per batch.
 	BatchSweepSeconds float64 `json:"batch_sweep_seconds"`
 	BatchLanes        int     `json:"batch_lanes"`
+
+	// StageSweepSeconds is the wall time of one quick-mode staged sweep
+	// (the three canonical 300K/77K/4K assignments simulated and priced
+	// through the multi-stage cooling chain — what `cryowire stage
+	// -quick` runs); StageSweepFailed is 1 when it aborted.
+	StageSweepSeconds float64 `json:"stage_sweep_seconds"`
+	StageSweepFailed  int     `json:"stage_sweep_failed"`
 }
 
 // newSystem builds a warmed system exactly like the in-package Go
@@ -197,6 +205,20 @@ func run(out string, batch int) error {
 			firstErr = lerr
 		}
 	}
+
+	// Staged sweep: the multi-stage cooling-chain study end to end at
+	// quick run lengths, serial (workers = lanes = default), so the
+	// number tracks the stage subsystem's whole path: simulation,
+	// cable heatloads and per-stage Carnot lifts.
+	start = time.Now()
+	if _, serr := stage.Sweep(context.Background(), nil, stage.SweepOptions{Sim: experiments.QuickOptions().Sim}); serr != nil {
+		fmt.Fprintf(os.Stderr, "benchsim: stage sweep: %v\n", serr)
+		rep.StageSweepFailed = 1
+		if firstErr == nil {
+			firstErr = serr
+		}
+	}
+	rep.StageSweepSeconds = time.Since(start).Seconds()
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

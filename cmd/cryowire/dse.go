@@ -34,17 +34,24 @@ func dseMain(args []string) int {
 	depths := fs.String("depths", "", "comma-separated pipeline depths overriding the default axis")
 	nets := fs.String("nets", "", "comma-separated interconnects overriding the default axis")
 	workloads := fs.String("workloads", "", "comma-separated workload names overriding the default axis")
+	stages := fs.String("stages", "", "comma-separated memory-stage temperatures (K) enabling the multi-stage axis")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: cryowire dse [-strategy grid|random|hillclimb] [-budget n] [-seed n]
                     [-quick] [-workers n] [-json] [-journal file [-resume]]
                     [-temps 300,77] [-modes nominal,cryosp] [-depths 14,17]
-                    [-nets mesh,cryobus] [-workloads x264,...]
+                    [-nets mesh,cryobus] [-workloads x264,...] [-stages 77,4]
 
 Searches the cryogenic design space — temperature x voltage mode x
 pipeline depth x interconnect x workload — and reports the Pareto
 frontier over (performance, total watts incl. cooling, energy). With
 the same seed a journaled run killed mid-search and resumed with
 -resume produces byte-identical output to an uninterrupted run.
+
+-stages adds a sixth axis: the memory-hierarchy stage temperature.
+Staged candidates are priced through the multi-stage cooling chain
+(cable heat leaks + per-stage Carnot-fraction overheads) instead of
+the flat (1+CO) lift; without -stages the search is unchanged and old
+journals keep resuming.
 `)
 		fs.PrintDefaults()
 	}
@@ -67,6 +74,21 @@ the same seed a journaled run killed mid-search and resumed with
 	if err := overrideSpace(&space, *temps, *modes, *depths, *nets, *workloads); err != nil {
 		fmt.Fprintf(os.Stderr, "cryowire dse: %v\n", err)
 		return 2
+	}
+	if *stages != "" {
+		var ts []float64
+		for _, p := range strings.Split(*stages, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cryowire dse: -stages: %q is not a number\n", p)
+				return 2
+			}
+			ts = append(ts, v)
+		}
+		space = space.WithStages(ts)
 	}
 	simCfg := sim.DefaultConfig()
 	if *quick {

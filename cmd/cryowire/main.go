@@ -10,6 +10,7 @@
 //	cryowire -parallel all    # fan out over all CPUs (same output)
 //	cryowire serve -addr :8080  # serve the same reports over HTTP
 //	cryowire dse -strategy hillclimb  # search the cryogenic design space
+//	cryowire stage -json      # price 300K/77K/4K stage assignments
 //	cryowire -version         # print embedded build information
 package main
 
@@ -34,15 +35,17 @@ import (
 var jsonOut bool
 
 func main() {
-	// "serve" and "dse" have their own flag sets; dispatch before
-	// parsing the experiment flags so `cryowire serve -addr :9090` and
-	// `cryowire dse -strategy hillclimb` work.
+	// "serve", "dse" and "stage" have their own flag sets; dispatch
+	// before parsing the experiment flags so `cryowire serve -addr
+	// :9090` and `cryowire dse -strategy hillclimb` work.
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "serve":
 			os.Exit(serveMain(os.Args[2:]))
 		case "dse":
 			os.Exit(dseMain(os.Args[2:]))
+		case "stage":
+			os.Exit(stageMain(os.Args[2:]))
 		}
 	}
 
@@ -350,6 +353,7 @@ func usage() {
        cryowire list | all
        cryowire serve [-addr :8080] [flags]
        cryowire dse [flags]
+       cryowire stage [flags]
        cryowire -version
 
 "list" and "all" stand alone and cannot be combined with experiment
@@ -366,6 +370,10 @@ the output is byte-identical to a serial run.
 "dse" searches the cryogenic design space (temperature x voltage mode x
 pipeline depth x interconnect x workload) and reports the Pareto
 frontier; see `+"`cryowire dse -h`"+`.
+
+"stage" evaluates temperature-stage assignments (300 K / 77 K / 4 K)
+through the staged cooling chain — cable heat leaks plus per-stage
+Carnot-fraction cooling overheads; see `+"`cryowire stage -h`"+`.
 
 -cpuprofile and -memprofile write runtime/pprof profiles of the run
 (CPU over the whole invocation; heap snapshotted after a GC at exit)

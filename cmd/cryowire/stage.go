@@ -1,0 +1,117 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"cryowire"
+	"cryowire/internal/experiments"
+)
+
+// stageMain runs the temperature-staged system study (`cryowire stage`).
+func stageMain(args []string) int {
+	fs := flag.NewFlagSet("stage", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "shorter simulations (quick-experiment run lengths)")
+	workers := fs.Int("workers", 0, "parallel simulation fan-out (default: all CPUs)")
+	jsonFlag := fs.Bool("json", false, "emit the result as JSON instead of a text report")
+	workloadName := fs.String("workload", "", "workload profile to evaluate on (default x264)")
+	wattsPerUnit := fs.Float64("watts-per-unit", 0, "watts one relative power-model unit represents (default 100)")
+	assignSpec := fs.String("assign", "", "comma-separated name:tierK:memK assignments overriding the default three")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: cryowire stage [-quick] [-workers n] [-json] [-workload x264]
+                      [-watts-per-unit w] [-assign name:tierK:memK,...]
+
+Evaluates temperature-stage assignments of the CryoWire system — which
+stage (300 K, 77 K, 4 K, ...) the CryoSP tier and the memory hierarchy
+sit on — with full simulation, then prices each through its staged
+cooling chain: per-stage device heat plus cryogenic-cable heat leak and
+signal dissipation, every stage lifted to wall power by its own
+Carnot-fraction cooler. The default assignments are all-300K, the
+paper's 77 K CryoSP system, and the 77 K memory + 4 K tier split.
+
+-json output is byte-identical to POST /v1/stage with the same
+parameters.
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "cryowire stage: unexpected arguments %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "cryowire stage: -workers must be >= 0")
+		return 2
+	}
+	assigns, err := parseAssignments(*assignSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire stage: %v\n", err)
+		return 2
+	}
+	opt := cryowire.StageSweepOptions{
+		Workload:     *workloadName,
+		Workers:      *workers,
+		WattsPerUnit: *wattsPerUnit,
+	}
+	if *quick {
+		opt.Sim = experiments.QuickOptions().Sim
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := cryowire.StageSweep(ctx, assigns, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire stage: %v\n", err)
+		return 1
+	}
+	if *jsonFlag {
+		b, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cryowire stage: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(b))
+		return 0
+	}
+	fmt.Print(res.Render())
+	return 0
+}
+
+// parseAssignments parses the -assign override: a comma-separated list
+// of name:tierK:memK triples. Empty input returns nil (the defaults).
+func parseAssignments(spec string) ([]cryowire.StageAssignment, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []cryowire.StageAssignment
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-assign: %q is not name:tierK:memK", item)
+		}
+		tier, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-assign: tier temperature %q is not a number", parts[1])
+		}
+		mem, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-assign: memory temperature %q is not a number", parts[2])
+		}
+		out = append(out, cryowire.StageAssignment{Name: strings.TrimSpace(parts[0]), TierK: tier, MemK: mem})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-assign: no assignments in %q", spec)
+	}
+	return out, nil
+}

@@ -31,6 +31,7 @@ import (
 	"cryowire/internal/platform"
 	"cryowire/internal/power"
 	"cryowire/internal/sim"
+	"cryowire/internal/stage"
 	"cryowire/internal/wire"
 	"cryowire/internal/workload"
 )
@@ -277,4 +278,34 @@ func DSEStrategies() []string { return dse.Strategies() }
 // dse.Run for the journaling and determinism contract.
 func RunDSE(ctx context.Context, cfg DSEConfig) (*DSEResult, error) {
 	return dse.Run(ctx, cfg)
+}
+
+// --- temperature-stage API (the multi-stage cryostat workflow) --------------
+
+// Multi-stage system model (internal/stage): components on 300 K /
+// 77 K / 4 K stages connected by cryogenic cables, each stage's
+// heatload lifted to wall power by its own Carnot-fraction cooler.
+type (
+	// StageAssignment places the CryoSP tier and the memory hierarchy
+	// on temperature stages (the host always stays at 300 K).
+	StageAssignment = stage.Assignment
+	// StageSweepOptions tunes a staged sweep.
+	StageSweepOptions = stage.SweepOptions
+	// StageSweepResult is the sweep's cooling-inclusive scorecard:
+	// per-assignment simulation metrics plus per-stage heatload
+	// breakdowns.
+	StageSweepResult = stage.SweepResult
+)
+
+// DefaultStageAssignments returns the three canonical assignments the
+// staged study compares: all-300K, the paper's 77 K CryoSP system, and
+// the 77 K + 4 K split.
+func DefaultStageAssignments() []StageAssignment { return stage.DefaultAssignments() }
+
+// StageSweep simulates each assignment and prices it through its
+// staged cooling chain. nil assignments run the defaults. Deterministic:
+// equal inputs produce byte-identical JSON at any worker/lane count
+// (the `cryowire stage -json` ↔ POST /v1/stage contract).
+func StageSweep(ctx context.Context, assigns []StageAssignment, opt StageSweepOptions) (*StageSweepResult, error) {
+	return stage.Sweep(ctx, assigns, opt)
 }

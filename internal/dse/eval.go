@@ -10,6 +10,7 @@ import (
 	"cryowire/internal/platform"
 	"cryowire/internal/power"
 	"cryowire/internal/sim"
+	"cryowire/internal/stage"
 	"cryowire/internal/workload"
 )
 
@@ -122,12 +123,18 @@ func candidateSpec(pf *platform.Platform, pt Point, prof workload.Profile, cfg s
 	if kind == sim.Mesh {
 		timing = pf.MeshTiming(nomOp, 1)
 	}
+	memT := pt.TempK
+	if pt.StageK > 0 {
+		// Multi-stage candidate: the memory hierarchy runs on its own
+		// stage's temperature, not the tier's.
+		memT = pt.StageK
+	}
 	d := sim.Design{
 		Name:   pt.String(),
 		Core:   core,
 		Net:    kind,
 		NoC:    timing,
-		Memory: mem.ForTemp(phys.Kelvin(pt.TempK)),
+		Memory: mem.ForTemp(phys.Kelvin(memT)),
 		Cores:  evalCores,
 	}
 	return sim.LaneSpec{Design: d, Profile: prof, Config: cfg}, core, nil
@@ -145,6 +152,19 @@ func finishEval(pf *platform.Platform, pt Point, core pipeline.CoreSpec, res sim
 	}
 	e.DevicePower = pw.CorePower(core) + nocPowerShare*pw.NoCPower(nocPowerKind(pt))
 	e.TotalPower = e.DevicePower * (1 + e.CoolingOverhead)
+	if pt.StageK > 0 {
+		// Multi-stage candidate: lift the tier's device power through
+		// the staged cooling chain (per-stage Carnot overheads + cable
+		// heatloads) instead of the flat (1+CO) product, and report the
+		// chain's effective overhead. Space.Validate guarantees the
+		// temperatures are chain-legal, so the error path is
+		// unreachable for validated spaces; if it ever fires the flat
+		// lift above stands.
+		if _, wall, err := stage.TierWall(pw.Cooling, e.DevicePower*stage.DefaultWattsPerUnit, pt.TempK, pt.StageK); err == nil {
+			e.TotalPower = wall / stage.DefaultWattsPerUnit
+			e.CoolingOverhead = e.TotalPower/e.DevicePower - 1
+		}
+	}
 	if e.Performance > 0 && e.TotalPower > 0 {
 		e.PerfPerWatt = e.Performance / e.TotalPower
 		e.Energy = e.TotalPower / e.Performance

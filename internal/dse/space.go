@@ -104,15 +104,27 @@ type Point struct {
 	Net string `json:"net"`
 	// Workload names the profile the candidate is evaluated on.
 	Workload string `json:"workload"`
+	// StageK is the memory-stage temperature of the multi-stage system
+	// model: 0 (the legacy flat system — memory shares TempK, cooling
+	// is the flat (1+CO) lift) or a stage temperature, in which case
+	// the memory hierarchy runs at StageK and the candidate is priced
+	// through the staged cooling chain (internal/stage) with per-stage
+	// Carnot overheads and cable heatloads. Omitted from JSON when 0 so
+	// pre-stage-axis journals replay byte-identically.
+	StageK float64 `json:"stage_k,omitempty"`
 }
 
 // String renders the point as a compact design name.
 func (p Point) String() string {
+	if p.StageK > 0 {
+		return fmt.Sprintf("%gK/%s/d%d/%s/%s/mem%gK", p.TempK, p.Mode, p.Depth, p.Net, p.Workload, p.StageK)
+	}
 	return fmt.Sprintf("%gK/%s/d%d/%s/%s", p.TempK, p.Mode, p.Depth, p.Net, p.Workload)
 }
 
 // Space is the searchable design space: the cross product of its five
-// axes. Axes enumerate in fixed order (temperature outermost, workload
+// core axes plus the optional memory-stage temperature axis. Axes
+// enumerate in fixed order (temperature outermost, stage temperature
 // innermost), so every point has a stable integer index in
 // [0, Size()) — the handle the strategies, the journal and the report
 // all share.
@@ -131,6 +143,30 @@ type Space struct {
 
 	// WorkloadNames mirrors Workloads for serialization.
 	WorkloadNames []string `json:"workloads"`
+
+	// StageTempsK is the optional sixth axis: candidate memory-stage
+	// temperatures of the multi-stage system model. Empty keeps the
+	// legacy flat system (every point has StageK == 0) — and keeps the
+	// space's canonical fingerprint unchanged, so journals written
+	// before the axis existed still resume byte-identically.
+	StageTempsK []float64 `json:"stage_temps_k,omitempty"`
+}
+
+// stageLen is the stage axis's mixed radix: an empty axis contributes
+// radix 1 (one implicit "flat system" coordinate), which is what keeps
+// legacy point indexes stable.
+func (s Space) stageLen() int {
+	if len(s.StageTempsK) == 0 {
+		return 1
+	}
+	return len(s.StageTempsK)
+}
+
+// WithStages returns a copy of the space with the memory-stage
+// temperature axis installed.
+func (s Space) WithStages(temps []float64) Space {
+	s.StageTempsK = temps
+	return s
 }
 
 // DefaultSpace returns the standard search space: the §7 temperature
@@ -229,6 +265,29 @@ func (s Space) Validate() error {
 		}
 		seenW[w.Name] = true
 	}
+	if len(s.StageTempsK) > 0 {
+		// Staged candidates are priced through the stage chain, whose
+		// host flange is the 300 K ambient — tier temperatures above it
+		// have no chain to hang from.
+		for _, t := range s.TempsK {
+			if t > 300 {
+				return fmt.Errorf("dse: tier temperature %v above the 300 K ambient is incompatible with the stage axis", t)
+			}
+		}
+	}
+	seenS := make(map[float64]bool, len(s.StageTempsK))
+	for _, t := range s.StageTempsK {
+		if math.IsNaN(t) || t <= 0 {
+			return fmt.Errorf("dse: unphysical stage temperature %v", t)
+		}
+		if t > 300 {
+			return fmt.Errorf("dse: stage temperature %v above the 300 K ambient", t)
+		}
+		if seenS[t] {
+			return fmt.Errorf("dse: duplicate stage temperature %v", t)
+		}
+		seenS[t] = true
+	}
 	if len(s.WorkloadNames) != len(s.Workloads) {
 		return fmt.Errorf("dse: workload name list out of sync (use NewSpace)")
 	}
@@ -242,7 +301,7 @@ func (s Space) Validate() error {
 
 // Size returns the number of points in the space.
 func (s Space) Size() int {
-	return len(s.TempsK) * len(s.Modes) * len(s.Depths) * len(s.Nets) * len(s.Workloads)
+	return len(s.TempsK) * len(s.Modes) * len(s.Depths) * len(s.Nets) * len(s.Workloads) * s.stageLen()
 }
 
 // At decodes index i into its point. Enumeration is mixed-radix with
@@ -254,6 +313,8 @@ func (s Space) At(i int) Point {
 	if i < 0 || i >= s.Size() {
 		panic(fmt.Sprintf("dse: point index %d outside [0,%d)", i, s.Size()))
 	}
+	st := i % s.stageLen()
+	i /= s.stageLen()
 	w := i % len(s.Workloads)
 	i /= len(s.Workloads)
 	n := i % len(s.Nets)
@@ -262,18 +323,26 @@ func (s Space) At(i int) Point {
 	i /= len(s.Depths)
 	m := i % len(s.Modes)
 	i /= len(s.Modes)
-	return Point{
+	p := Point{
 		TempK:    s.TempsK[i],
 		Mode:     s.Modes[m],
 		Depth:    s.Depths[d],
 		Net:      s.Nets[n],
 		Workload: s.Workloads[w].Name,
 	}
+	if len(s.StageTempsK) > 0 {
+		p.StageK = s.StageTempsK[st]
+	}
+	return p
 }
 
 // coords decodes index i into per-axis coordinates (same radix as At).
-func (s Space) coords(i int) [5]int {
-	var c [5]int
+// The stage axis is innermost; with no stage axis its coordinate is
+// always 0.
+func (s Space) coords(i int) [6]int {
+	var c [6]int
+	c[5] = i % s.stageLen()
+	i /= s.stageLen()
 	c[4] = i % len(s.Workloads)
 	i /= len(s.Workloads)
 	c[3] = i % len(s.Nets)
@@ -287,13 +356,13 @@ func (s Space) coords(i int) [5]int {
 }
 
 // axisLens returns the per-axis cardinalities in coordinate order.
-func (s Space) axisLens() [5]int {
-	return [5]int{len(s.TempsK), len(s.Modes), len(s.Depths), len(s.Nets), len(s.Workloads)}
+func (s Space) axisLens() [6]int {
+	return [6]int{len(s.TempsK), len(s.Modes), len(s.Depths), len(s.Nets), len(s.Workloads), s.stageLen()}
 }
 
 // index re-encodes coordinates into a point index.
-func (s Space) index(c [5]int) int {
-	return (((c[0]*len(s.Modes)+c[1])*len(s.Depths)+c[2])*len(s.Nets)+c[3])*len(s.Workloads) + c[4]
+func (s Space) index(c [6]int) int {
+	return ((((c[0]*len(s.Modes)+c[1])*len(s.Depths)+c[2])*len(s.Nets)+c[3])*len(s.Workloads)+c[4])*s.stageLen() + c[5]
 }
 
 // Neighbors returns the indexes one step away from i along each axis
@@ -303,7 +372,7 @@ func (s Space) Neighbors(i int) []int {
 	lens := s.axisLens()
 	var out []int
 	seen := map[int]bool{i: true}
-	for ax := 0; ax < 5; ax++ {
+	for ax := 0; ax < 6; ax++ {
 		for _, step := range []int{-1, 1} {
 			nc := c
 			nc[ax] += step
@@ -358,5 +427,17 @@ func (s Space) canonical() string {
 	}
 	fmt.Fprintf(&b, "|nets=%s", strings.Join(s.Nets, ","))
 	fmt.Fprintf(&b, "|workloads=%s", strings.Join(s.WorkloadNames, ","))
+	// The stage axis joins the fingerprint only when present: a space
+	// without it renders exactly the pre-stage-axis string, which is
+	// what keeps old journals resumable (their sha256 keys still match).
+	if len(s.StageTempsK) > 0 {
+		b.WriteString("|stages=")
+		for i, t := range s.StageTempsK {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", t)
+		}
+	}
 	return b.String()
 }

@@ -38,6 +38,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"abl-superpipeline", "abl-topology", "abl-dynlinks",
 		"abl-snoop", "abl-frontend", "abl-interleave",
 		"fig22-activity", "table4-derived", "faultsweep", "dse-pareto",
+		"stagesweep",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

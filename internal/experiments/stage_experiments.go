@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cryowire/internal/stage"
+)
+
+func init() {
+	register("stagesweep", StageSweep)
+}
+
+// StageSweep evaluates the three canonical temperature-stage
+// assignments — everything at 300 K, the paper's 77 K CryoSP system,
+// and the 4 K tier with 77 K memory — with full simulation, then
+// prices each through its staged cooling chain: per-stage device heat
+// plus cable heat leak and signal dissipation, each stage lifted to
+// wall power by its own Carnot-fraction overhead. It answers the
+// question the flat CO(T) lift cannot: whether the 4 K wire speedups
+// survive a cryocooler that pays ~25x more per device watt than the
+// 77 K stage.
+func StageSweep(opt Options) (*Report, error) {
+	res, err := stage.Sweep(opt.Context(), nil, stage.SweepOptions{
+		Platform: opt.platform(),
+		Sim:      opt.Sim,
+		Workers:  opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		ID:    "stagesweep",
+		Title: "Temperature stages: cooling-inclusive perf/W of 300K / 77K / 4K assignments",
+		Header: []string{"assignment", "tier K", "mem K", "freq GHz", "IPC",
+			"perf (inst/ns)", "device W", "wall W", "perf/W"},
+		Notes: []string{
+			fmt.Sprintf("wall watts lift each stage's heatload (device + cable leak + signal) through its own Carnot-fraction cooler; 1 relative power unit = %g W", res.WattsPerUnit),
+			"the host stays at 300 K; cables charge their passive leak and driver dissipation to the colder stage",
+			"CO(4K) is ~25x CO(77K) per device watt, so the 4 K tier's clock gains must clear a far higher cooling bill",
+		},
+	}
+	for _, a := range res.Assignments {
+		r.AddRow(a.Name, fmt.Sprintf("%g", a.TierK), fmt.Sprintf("%g", a.MemK),
+			f2(a.FreqGHz), f3(a.IPC), f2(a.Performance), f2(a.DeviceWatts),
+			f2(a.WallWatts), fmt.Sprintf("%.5f", a.PerfPerWatt))
+	}
+	return r, nil
+}

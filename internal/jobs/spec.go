@@ -24,6 +24,10 @@ type Spec struct {
 	Depths    []int     `json:"depths"`
 	Nets      []string  `json:"nets"`
 	Workloads []string  `json:"workloads"`
+	// StageTempsK is the optional memory-stage temperature axis
+	// (multi-stage cooling chain). omitempty keeps specs written before
+	// the axis existed byte-identical on rewrite.
+	StageTempsK []float64 `json:"stage_temps_k,omitempty"`
 	// WarmupCycles, MeasureCycles and SimSeed are the per-candidate
 	// simulation knobs.
 	WarmupCycles  int   `json:"warmup_cycles"`
@@ -51,6 +55,7 @@ func SpecFromConfig(cfg dse.Config) Spec {
 		Depths:        cfg.Space.Depths,
 		Nets:          cfg.Space.Nets,
 		Workloads:     cfg.Space.WorkloadNames,
+		StageTempsK:   cfg.Space.StageTempsK,
 		WarmupCycles:  cfg.Sim.WarmupCycles,
 		MeasureCycles: cfg.Sim.MeasureCycles,
 		SimSeed:       cfg.Sim.Seed,
@@ -73,6 +78,9 @@ func (sp Spec) Config() (dse.Config, error) {
 		wls = append(wls, w)
 	}
 	space := dse.NewSpace(sp.TempsK, sp.Modes, sp.Depths, sp.Nets, wls)
+	if len(sp.StageTempsK) > 0 {
+		space = space.WithStages(sp.StageTempsK)
+	}
 	if err := space.Validate(); err != nil {
 		return dse.Config{}, fmt.Errorf("jobs: spec: %w", err)
 	}
@@ -91,6 +99,9 @@ func (sp Spec) Config() (dse.Config, error) {
 // strategy does not converge early: the budget clipped to the space.
 func (sp Spec) Total() int {
 	size := len(sp.TempsK) * len(sp.Modes) * len(sp.Depths) * len(sp.Nets) * len(sp.Workloads)
+	if n := len(sp.StageTempsK); n > 0 {
+		size *= n
+	}
 	if sp.Budget > 0 && sp.Budget < size {
 		return sp.Budget
 	}

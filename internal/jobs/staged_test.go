@@ -1,0 +1,121 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cryowire/internal/dse"
+)
+
+// stagedSpec is a two-candidate staged search: tier ∈ {77 K, 4 K} with
+// the memory hierarchy pinned on its own 77 K stage.
+func stagedSpec() Spec {
+	return Spec{
+		Strategy:      "grid",
+		Seed:          1,
+		TempsK:        []float64{77, 4},
+		Modes:         []string{"cryosp"},
+		Depths:        []int{17},
+		Nets:          []string{"cryobus"},
+		Workloads:     []string{"x264"},
+		StageTempsK:   []float64{77},
+		WarmupCycles:  300,
+		MeasureCycles: 900,
+		SimSeed:       1,
+		Workers:       2,
+	}
+}
+
+// TestStagedSpecRoundTrip: the stage axis survives Spec → Config →
+// Spec, and Total counts the sixth axis.
+func TestStagedSpecRoundTrip(t *testing.T) {
+	sp := stagedSpec()
+	if got := sp.Total(); got != 2 {
+		t.Fatalf("Total = %d, want 2", got)
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Space.Size() != 2 {
+		t.Fatalf("space size = %d, want 2", cfg.Space.Size())
+	}
+	back := SpecFromConfig(cfg)
+	if !reflect.DeepEqual(back.StageTempsK, sp.StageTempsK) {
+		t.Fatalf("stage axis lost in round trip: %v != %v", back.StageTempsK, sp.StageTempsK)
+	}
+	// A flat spec must not grow a stage axis (omitempty keeps old spec
+	// files byte-stable).
+	flat := testSpec(0)
+	b, err := json.Marshal(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("stage_temps_k")) {
+		t.Fatalf("flat spec serialized a stage axis: %s", b)
+	}
+	// And a bad stage axis fails at spec resolution, before any state
+	// transitions.
+	bad := stagedSpec()
+	bad.StageTempsK = []float64{0}
+	if _, err := bad.Config(); err == nil {
+		t.Fatal("spec with a 0 K stage resolved")
+	}
+}
+
+// TestStagedJobRunsToCompletion is the acceptance path: a DSE with the
+// stage-temperature axis completes through the async job machinery and
+// recovers a frontier whose candidates carry their stage and its
+// staged cooling premium.
+func TestStagedJobRunsToCompletion(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "jobs")
+	m, err := Open(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+	defer m.Drain(context.Background())
+
+	sp := stagedSpec()
+	st, err := m.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 2 {
+		t.Fatalf("submitted total = %d, want 2", st.Total)
+	}
+	fin := waitStatus(t, m, st.ID, StatusDone)
+	if fin.Evaluated != 2 {
+		t.Fatalf("evaluated = %d, want 2", fin.Evaluated)
+	}
+	got, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceBytes(t, sp); !bytes.Equal(got, want) {
+		t.Fatalf("async staged result differs from synchronous run:\n got: %s\nwant: %s", got, want)
+	}
+	var res dse.Result
+	if err := json.Unmarshal(got, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("staged job recovered an empty frontier")
+	}
+	for _, c := range res.Frontier {
+		if c.Point.StageK != 77 {
+			t.Fatalf("frontier point %+v lost its memory stage", c.Point)
+		}
+		// Every staged candidate pays more than the flat 77 K lift:
+		// the chain adds cable heat and, at 4 K, the ~25x Carnot stage.
+		if c.Eval.CoolingOverhead <= 9.65 {
+			t.Fatalf("staged cooling overhead %v not above the flat 77 K 9.65", c.Eval.CoolingOverhead)
+		}
+	}
+}

@@ -65,17 +65,72 @@ type MOSFET struct {
 	// nominal 300 K operating point; only ratios matter for the paper's
 	// analyses but an absolute scale keeps power numbers dimensionful.
 	Ileak0 float64
+
+	// --- 4 K extension card (liquid-helium operation) -----------------
+	//
+	// The fields below extend the card to the liquid-helium stage of
+	// the multi-stage system model, in the spirit of QIsim's
+	// CryoMOSFET_4K pipeline and the generic cryo-CMOS modeling
+	// platform (arXiv 2211.05309) calibrated against liquid-helium
+	// characterization (arXiv 1811.11497). A card with MobilityGain4
+	// == 0 has no 4 K data: sub-77 K queries through MobilityFactorAt
+	// and ValidTemperature return ErrNo4KCard instead of silently
+	// extrapolating.
+
+	// MobilityGain4 is µ(4K)/µ(300K). Phonon scattering is gone at
+	// liquid helium; ionized-impurity and surface-roughness scattering
+	// cap the gain only slightly above the 77 K value. 0 means the
+	// card carries no 4 K calibration.
+	MobilityGain4 float64
+	// SubthresholdFloorK is the effective electronic temperature floor
+	// of the subthreshold slope. Measured 4 K devices do not show the
+	// theoretical kT/q·ln10 ≈ 0.8 mV/dec swing — band tails and
+	// interface states saturate the swing at an equivalent temperature
+	// of a few tens of kelvin — so the leakage exponential evaluates
+	// at max(T, SubthresholdFloorK). 0 disables the floor (textbook
+	// slope at every temperature).
+	SubthresholdFloorK Kelvin
 }
 
 // DefaultMOSFET returns the calibrated 45 nm-class model card used by
-// every CryoWire experiment.
+// every CryoWire experiment. The card includes the 4 K extension:
+// µ(4K)/µ(300K) = 1.12 (impurity-scattering-limited, a little above
+// the 77 K gain) and a 35 K subthreshold-swing floor (the band-tail
+// saturation liquid-helium characterization reports), so every
+// temperature from 300 K down to liquid helium is an explicit
+// calibrated curve.
 func DefaultMOSFET() *MOSFET {
 	return &MOSFET{
-		Alpha:          0.545,
-		MobilityGain77: 1.08,
-		SubthresholdN:  1.5,
-		Ileak0:         100e-9,
+		Alpha:              0.545,
+		MobilityGain77:     1.08,
+		SubthresholdN:      1.5,
+		Ileak0:             100e-9,
+		MobilityGain4:      1.12,
+		SubthresholdFloorK: 35,
 	}
+}
+
+// ErrNo4KCard reports a sub-77 K query against a model card that
+// carries no 4 K calibration data. Callers either configure
+// MobilityGain4 (DefaultMOSFET does) or keep their operating points at
+// 77 K and above.
+var ErrNo4KCard = errors.New("phys: model card has no 4 K calibration (MobilityGain4 unset) for sub-77 K operation")
+
+// Has4KCard reports whether the card carries liquid-helium calibration.
+func (m *MOSFET) Has4KCard() bool { return m.MobilityGain4 > 0 }
+
+// ValidTemperature reports whether the card can model temperature t:
+// t must be physical, and temperatures below 77 K need the 4 K
+// extension card. This is the validation gate the platform layer runs
+// before deriving artifacts at a new operating point.
+func (m *MOSFET) ValidTemperature(t Kelvin) error {
+	if err := ValidTemperature(t); err != nil {
+		return err
+	}
+	if t < T77 && !m.Has4KCard() {
+		return fmt.Errorf("%w (temperature %g K)", ErrNo4KCard, float64(t))
+	}
+	return nil
 }
 
 // thermalVoltage returns kT/q in volts.
@@ -84,21 +139,61 @@ func thermalVoltage(t Kelvin) float64 {
 	return kOverQ * float64(t)
 }
 
+// slopeTemperature returns the temperature the subthreshold slope
+// evaluates at: the physical temperature, floored at the card's
+// SubthresholdFloorK (band-tail swing saturation — see the field doc).
+// Above the floor (every 77 K-and-up point) this is the identity, so
+// the 4 K extension never perturbs the calibrated 77–300 K leakage.
+func (m *MOSFET) slopeTemperature(t Kelvin) Kelvin {
+	if m.SubthresholdFloorK > 0 && t < m.SubthresholdFloorK {
+		return m.SubthresholdFloorK
+	}
+	return t
+}
+
 // MobilityFactor returns µ(T)/µ(300K). Carrier mobility in silicon is
 // phonon-limited near room temperature (µ ∝ T^−γ) but saturates at low
 // temperature as impurity scattering takes over; the model interpolates
 // so that the 77 K value equals the calibrated MobilityGain77 and the
 // curve is monotone between 300 K and 77 K.
+//
+// Below 77 K the behavior depends on the 4 K extension card: with
+// MobilityGain4 set the curve continues log-linearly to the (4 K,
+// MobilityGain4) anchor and clamps below it (impurity scattering is
+// temperature-independent, so µ is flat under liquid helium); without
+// it the legacy clamp to MobilityGain77 applies. Callers that must
+// distinguish "calibrated curve" from "uncalibrated clamp" use
+// MobilityFactorAt, which returns ErrNo4KCard in the latter case.
 func (m *MOSFET) MobilityFactor(t Kelvin) float64 {
 	if t >= T300 {
 		return 1
 	}
 	if t <= T77 {
-		return m.MobilityGain77
+		if !m.Has4KCard() {
+			return m.MobilityGain77
+		}
+		if t <= T4 {
+			return m.MobilityGain4
+		}
+		// Log-linear interpolation between the 77 K and 4 K anchors.
+		frac := math.Log(float64(T77)/float64(t)) / math.Log(float64(T77)/float64(T4))
+		return m.MobilityGain77 + (m.MobilityGain4-m.MobilityGain77)*frac
 	}
 	// Log-linear interpolation in temperature between the anchors.
 	frac := math.Log(float64(T300)/float64(t)) / math.Log(float64(T300)/float64(T77))
 	return 1 + (m.MobilityGain77-1)*frac
+}
+
+// MobilityFactorAt is MobilityFactor with the sub-77 K contract made
+// explicit: a query below 77 K against a card without the 4 K
+// extension returns ErrNo4KCard instead of the silent MobilityGain77
+// clamp, so callers can never mistake an uncalibrated extrapolation
+// for a measured curve.
+func (m *MOSFET) MobilityFactorAt(t Kelvin) (float64, error) {
+	if err := m.ValidTemperature(t); err != nil {
+		return 0, err
+	}
+	return m.MobilityFactor(t), nil
 }
 
 // OnCurrentFactor returns Ion(op)/Ion(Nominal45) — the relative drive
@@ -132,11 +227,13 @@ func (m *MOSFET) TransistorSpeedup(op OperatingPoint) float64 {
 // LeakageFactor returns Ileak(op)/Ileak(Nominal45). The exponential
 // sensitivity to Vth/T is what makes cryogenic Vth scaling free: at
 // 77 K even Vth = 0.25 V leaks orders of magnitude less than the 300 K
-// nominal device.
+// nominal device. Below the card's subthreshold-swing floor the slope
+// stops steepening (slopeTemperature), so 4 K leakage is "collapsed
+// but finite" rather than the unphysical e^-700 of the textbook model.
 func (m *MOSFET) LeakageFactor(op OperatingPoint) float64 {
 	ref := Nominal45
 	exp := func(o OperatingPoint) float64 {
-		return -float64(o.Vth) / (m.SubthresholdN * thermalVoltage(o.T))
+		return -float64(o.Vth) / (m.SubthresholdN * thermalVoltage(m.slopeTemperature(o.T)))
 	}
 	tempScale := math.Pow(float64(op.T)/float64(ref.T), 2)
 	return tempScale * math.Exp(exp(op)-exp(ref))
@@ -166,7 +263,7 @@ func (m *MOSFET) MinVth(t Kelvin, budgetFactor float64) (Volts, error) {
 	tempScale := math.Pow(float64(t)/float64(ref.T), 2)
 	refExp := float64(ref.Vth) / (m.SubthresholdN * thermalVoltage(ref.T))
 	rhs := math.Log(budgetFactor/tempScale) - refExp
-	vth := Volts(-rhs * m.SubthresholdN * thermalVoltage(t))
+	vth := Volts(-rhs * m.SubthresholdN * thermalVoltage(m.slopeTemperature(t)))
 	if vth <= 0 {
 		// Leakage budget is so loose that any positive Vth works.
 		return 0.01, nil

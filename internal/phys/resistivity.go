@@ -23,6 +23,7 @@ const (
 	T135 Kelvin = 135 // validation-board temperature (Fig 8/9)
 	T100 Kelvin = 100 // sweet-spot candidate (Fig 27)
 	T77  Kelvin = 77  // liquid-nitrogen target temperature
+	T4   Kelvin = 4   // liquid-helium stage of the multi-stage model
 )
 
 // DebyeTemperatureCu is the effective Bloch–Grüneisen temperature of
@@ -122,7 +123,11 @@ var wireResistivity = map[WireClass]resistivityParams{
 }
 
 // Resistivity returns the resistivity of the given wire class at
-// temperature t in µΩ·cm.
+// temperature t in µΩ·cm. The Bloch–Grüneisen phonon term is valid all
+// the way to liquid helium: at 4 K the phonon component has collapsed
+// (G(4 K)/G(300 K) ≈ 1e-7) and the residual surface/grain-boundary
+// term is all that remains, which is why thin local wires stop
+// improving below ~77 K while near-bulk global wires keep gaining.
 func Resistivity(c WireClass, t Kelvin) float64 {
 	p, ok := wireResistivity[c]
 	if !ok {

@@ -123,9 +123,18 @@ func (p *Platform) OpAt(tempK float64) (phys.OperatingPoint, error) {
 	return op, nil
 }
 
-// ValidateOp memoizes OperatingPoint.Valid.
+// ValidateOp memoizes OperatingPoint.Valid plus the model card's
+// temperature gate: a sub-77 K operating point is only derivable when
+// the card carries the 4 K extension (phys.ErrNo4KCard otherwise), so
+// an uncalibrated platform can never silently extrapolate into the
+// liquid-helium regime.
 func (p *Platform) ValidateOp(op phys.OperatingPoint) error {
-	return p.ops.get(op, func() error { return op.Valid() })
+	return p.ops.get(op, func() error {
+		if err := op.Valid(); err != nil {
+			return err
+		}
+		return p.mosfet.ValidTemperature(op.T)
+	})
 }
 
 // MeshTiming returns the memoized router-NoC timing at op with the

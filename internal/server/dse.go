@@ -38,6 +38,11 @@ type dseDTO struct {
 	Depths    []int     `json:"depths"`
 	Nets      []string  `json:"nets"`
 	Workloads []string  `json:"workloads"`
+	// StageTempsK enables the optional memory-stage temperature axis:
+	// staged candidates are priced through the multi-stage cooling
+	// chain instead of the flat (1+CO) lift. Empty leaves the search —
+	// and its result bytes — exactly as before the axis existed.
+	StageTempsK []float64 `json:"stage_temps_k"`
 	// Config overrides the per-candidate simulation run-length/seed.
 	Config struct {
 		WarmupCycles  int   `json:"warmup_cycles"`
@@ -95,6 +100,9 @@ func (d dseDTO) resolve(maxEvals int) (dse.Config, error) {
 		}
 	}
 	space = dse.NewSpace(space.TempsK, space.Modes, space.Depths, space.Nets, wls)
+	if len(d.StageTempsK) > 0 {
+		space = space.WithStages(d.StageTempsK)
+	}
 	if err := space.Validate(); err != nil {
 		return dse.Config{}, badRequest("%v", err)
 	}
@@ -148,6 +156,7 @@ func canonicalDSE(cfg dse.Config) string {
 		cfg.Strategy, canonInt(cfg.Budget), canonInt64(cfg.Seed),
 		canonFloats(s.TempsK), strings.Join(s.Modes, ","), canonInts(s.Depths),
 		strings.Join(s.Nets, ","), strings.Join(s.WorkloadNames, ","),
+		canonFloats(s.StageTempsK),
 		canonInt(cfg.Sim.WarmupCycles), canonInt(cfg.Sim.MeasureCycles), canonInt64(cfg.Sim.Seed))
 }
 

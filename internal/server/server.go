@@ -36,6 +36,7 @@ import (
 	"cryowire/internal/jobs"
 	"cryowire/internal/platform"
 	"cryowire/internal/sim"
+	"cryowire/internal/stage"
 	"cryowire/internal/workload"
 )
 
@@ -130,6 +131,7 @@ type Server struct {
 	runExperiment func(ctx context.Context, id string, opt experiments.Options) (*experiments.Report, error)
 	runSimulate   func(ctx context.Context, d sim.Design, w workload.Profile, cfg sim.Config) (sim.Result, error)
 	runDSE        func(ctx context.Context, cfg dse.Config) (*dse.Result, error)
+	runStage      func(ctx context.Context, assigns []stage.Assignment, opt stage.SweepOptions) (*stage.SweepResult, error)
 }
 
 // New builds a server. The returned server is not yet ready (readyz
@@ -152,6 +154,7 @@ func New(cfg Config) (*Server, error) {
 	s.flights = newFlightGroup(baseCtx, cfg.RequestTimeout)
 	s.runExperiment = experiments.RunCtx
 	s.runDSE = dse.Run
+	s.runStage = stage.Sweep
 	s.runSimulate = func(ctx context.Context, d sim.Design, w workload.Profile, cfg sim.Config) (sim.Result, error) {
 		sys, err := sim.New(d, w, cfg.WithContext(ctx))
 		if err != nil {
@@ -202,6 +205,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/experiments/{id}", s.admit(http.HandlerFunc(s.handleExperiment)))
 	mux.Handle("POST /v1/simulate", s.admit(http.HandlerFunc(s.handleSimulate)))
 	mux.Handle("POST /v1/dse", s.admit(http.HandlerFunc(s.handleDSE)))
+	mux.Handle("POST /v1/stage", s.admit(http.HandlerFunc(s.handleStage)))
 	mux.Handle("GET /v1/wire/speedup", s.admit(http.HandlerFunc(s.handleWireSpeedup)))
 	mux.Handle("GET /v1/noc/load-latency", s.admit(http.HandlerFunc(s.handleNoCLoadLatency)))
 	mux.Handle("GET /v1/temperature-sweep", s.admit(http.HandlerFunc(s.handleTemperatureSweep)))

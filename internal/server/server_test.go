@@ -81,6 +81,15 @@ func TestEndpointStatuses(t *testing.T) {
 		{"dse unknown workload", "POST", "/v1/dse", `{"workloads":["nope"]}`, 404, ""},
 		{"dse bad depth", "POST", "/v1/dse", `{"depths":[3]}`, 400, "derivable range"},
 		{"dse over cap", "POST", "/v1/dse", dseOverCapBody(), 400, "server cap"},
+		{"dse bad stage axis", "POST", "/v1/dse", `{"stage_temps_k":[0]}`, 400, "stage"},
+		{"stage bad json", "POST", "/v1/stage", "{", 400, "invalid JSON"},
+		{"stage unknown field", "POST", "/v1/stage", `{"qwick":true}`, 400, "invalid JSON"},
+		{"stage negative workers", "POST", "/v1/stage", `{"workers":-1}`, 400, "workers"},
+		{"stage negative cycles", "POST", "/v1/stage", `{"config":{"warmup_cycles":-1}}`, 400, "cycle counts"},
+		{"stage unknown workload", "POST", "/v1/stage", `{"workload":"nope"}`, 404, ""},
+		{"stage bad assignment", "POST", "/v1/stage", `{"assignments":[{"name":"hot","tier_k":400,"mem_k":300}]}`, 400, "above the 300 K host"},
+		{"stage over cap", "POST", "/v1/stage", stageOverCapBody(), 400, "server cap"},
+		{"stage wrong method", "GET", "/v1/stage", "", 405, ""},
 		{"wire missing class", "GET", "/v1/wire/speedup", "", 400, "class is required"},
 		{"wire bad length", "GET", "/v1/wire/speedup?class=local&length_mm=0", "", 400, "length_mm"},
 		{"wire bad number", "GET", "/v1/wire/speedup?class=local&length_mm=x", "", 400, "not a number"},

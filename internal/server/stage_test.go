@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cryowire/internal/sim"
+	"cryowire/internal/stage"
+)
+
+// stageOverCapBody builds a request sweeping one assignment more than
+// the server allows.
+func stageOverCapBody() string {
+	var b strings.Builder
+	b.WriteString(`{"assignments":[`)
+	for i := 0; i <= stageAssignmentCap; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"name":"a%d","tier_k":77,"mem_k":77}`, i)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// stageTestBody is the shared short-simulation request the parity test
+// uses: the three default assignments at test-scale run lengths.
+const stageTestBody = `{"config":{"warmup_cycles":400,"measure_cycles":1600,"seed":1}}`
+
+// TestStageJSONParity: POST /v1/stage must be byte-identical to
+// `cryowire stage -json` for the same parameters — which the CLI
+// produces as stage.Sweep(...).JSON() plus fmt.Println's newline.
+func TestStageJSONParity(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	rec := do(t, h, "POST", "/v1/stage", stageTestBody)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body: %s", rec.Code, rec.Body)
+	}
+	res, err := stage.Sweep(context.Background(), nil, stage.SweepOptions{
+		Sim: sim.Config{WarmupCycles: 400, MeasureCycles: 1600, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(b, '\n')
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatalf("endpoint body differs from CLI -json output:\nendpoint: %s\ncli: %s", rec.Body, want)
+	}
+
+	// The response carries all three canonical assignments, and the 4 K
+	// stage pays the ~25x Carnot premium of the acceptance criterion.
+	var got stage.SweepResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Assignments) != 3 {
+		t.Fatalf("assignments = %d, want the 3 defaults", len(got.Assignments))
+	}
+	var co4, co77 float64
+	for _, a := range got.Assignments {
+		for _, st := range a.Stages {
+			switch st.TempK {
+			case 4:
+				co4 = st.CoolingOverhead
+			case 77:
+				if co77 == 0 {
+					co77 = st.CoolingOverhead
+				}
+			}
+		}
+	}
+	if co4 == 0 || co77 == 0 {
+		t.Fatalf("breakdowns missing a 4 K (%v) or 77 K (%v) stage", co4, co77)
+	}
+	if ratio := co4 / co77; ratio < 24 || ratio > 27 {
+		t.Fatalf("CO(4K)/CO(77K) = %v, want ~25x", ratio)
+	}
+
+	// Identical and equivalently spelled requests hit the cache.
+	rec2 := do(t, h, "POST", "/v1/stage", stageTestBody)
+	if gotC := rec2.Header().Get("X-Cache"); gotC != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", gotC)
+	}
+	if !bytes.Equal(rec2.Body.Bytes(), want) {
+		t.Fatal("cached body differs from computed body")
+	}
+	rec3 := do(t, h, "POST", "/v1/stage",
+		`{"workers":0,"config":{"seed":1,"warmup_cycles":400,"measure_cycles":1600}}`)
+	if gotC := rec3.Header().Get("X-Cache"); gotC != "hit" {
+		t.Fatalf("equivalent request X-Cache = %q, want hit", gotC)
+	}
+
+	// Workers is a scheduling knob: a different fan-out shares the
+	// entry (the sweep's determinism contract says bytes cannot change).
+	rec4 := do(t, h, "POST", "/v1/stage",
+		`{"workers":2,"config":{"warmup_cycles":400,"measure_cycles":1600,"seed":1}}`)
+	if gotC := rec4.Header().Get("X-Cache"); gotC != "hit" {
+		t.Fatalf("workers-differing request X-Cache = %q, want hit", gotC)
+	}
+}
+
+// TestStageCustomAssignments: explicit assignments flow through and
+// title the result rows.
+func TestStageCustomAssignments(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := do(t, s.Handler(), "POST", "/v1/stage",
+		`{"assignments":[{"name":"cold-mem","tier_k":300,"mem_k":77}],"config":{"warmup_cycles":400,"measure_cycles":1600,"seed":1}}`)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body: %s", rec.Code, rec.Body)
+	}
+	var got stage.SweepResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Assignments) != 1 || got.Assignments[0].Name != "cold-mem" {
+		t.Fatalf("assignments = %+v, want the single cold-mem row", got.Assignments)
+	}
+}

@@ -1,0 +1,108 @@
+package stage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cryowire/internal/phys"
+)
+
+// CableMaterial names a cryogenic cable construction in the material
+// table. The estimator follows the heatload-budget style of practical
+// cryostat wiring calculators: each material carries an effective
+// thermal conductance·area product κA (W·m/K) per signal lane, and a
+// lane conducts
+//
+//	Q = κA · (T_hot − T_cold) / length
+//
+// watts of passive heat from the warm flange into the cold stage.
+// Longer cables leak *less* (conduction ∝ 1/L); the price of length is
+// paid in signal integrity and delay, not heat.
+type CableMaterial string
+
+// Cable material table.
+const (
+	// BeCuCoax is the beryllium-copper coax commonly used for microwave
+	// drive lines: moderate conductivity, good RF performance. The κA
+	// calibration anchor: one 1 m lane spanning 300 K → 4 K leaks
+	// ≈ 8.3 mW, the per-line budget practical 4 K cryostats plan around.
+	BeCuCoax CableMaterial = "becu-coax"
+	// StainlessCoax is lossy stainless-steel coax: ~4× less conductive
+	// than BeCu, used where signal loss is tolerable.
+	StainlessCoax CableMaterial = "stainless-coax"
+	// NbTiCoax is superconducting NbTi coax for the coldest segments:
+	// negligible electronic conduction below its transition, only the
+	// jacket and dielectric conduct.
+	NbTiCoax CableMaterial = "nbti-coax"
+	// CopperLoom is a plain copper wire loom — the warm-side default and
+	// the cautionary row of every heatload budget: ~40× worse than BeCu.
+	CopperLoom CableMaterial = "copper-loom"
+)
+
+// kappaA is the per-lane effective κA in W·m/K. The BeCu value is
+// calibrated so a 1 m 300→4 K lane leaks 8.3 mW (see BeCuCoax); the
+// others are scaled by their conductivity ratios.
+var kappaA = map[CableMaterial]float64{
+	BeCuCoax:      2.8e-5,
+	StainlessCoax: 7.0e-6,
+	NbTiCoax:      7.5e-7,
+	CopperLoom:    1.1e-3,
+}
+
+// Materials lists the supported cable materials in canonical order.
+func Materials() []CableMaterial {
+	out := make([]CableMaterial, 0, len(kappaA))
+	for m := range kappaA {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Valid reports whether the material is in the table.
+func (m CableMaterial) Valid() error {
+	if _, ok := kappaA[m]; !ok {
+		names := make([]string, 0, len(kappaA))
+		for _, k := range Materials() {
+			names = append(names, string(k))
+		}
+		return fmt.Errorf("stage: unknown cable material %q (have %s)", m, strings.Join(names, ", "))
+	}
+	return nil
+}
+
+// HeatLeak returns the passive conduction heatload, in watts, that a
+// cable of the material with `lanes` signal lanes and the given length
+// deposits on its cold (T = coldK) end when the warm end sits at hotK.
+// The leak is charged entirely to the colder stage — the warm flange
+// is a heat sink, not a load.
+//
+// Errors: unknown material, non-positive length or lane count,
+// non-finite or unphysical temperatures, or an inverted gradient
+// (coldK > hotK). A zero gradient (coldK == hotK) leaks nothing.
+func HeatLeak(m CableMaterial, hotK, coldK phys.Kelvin, lengthM float64, lanes int) (float64, error) {
+	if err := m.Valid(); err != nil {
+		return 0, err
+	}
+	if math.IsNaN(lengthM) || math.IsInf(lengthM, 0) || lengthM <= 0 {
+		return 0, fmt.Errorf("stage: non-positive cable length %v m", lengthM)
+	}
+	if lanes < 1 {
+		return 0, fmt.Errorf("stage: cable needs ≥1 lane, have %d", lanes)
+	}
+	if err := phys.ValidTemperature(hotK); err != nil {
+		return 0, err
+	}
+	if err := phys.ValidTemperature(coldK); err != nil {
+		return 0, err
+	}
+	if math.IsInf(float64(hotK), 0) || math.IsInf(float64(coldK), 0) {
+		return 0, fmt.Errorf("stage: non-finite cable temperature (hot=%v cold=%v)", hotK, coldK)
+	}
+	if coldK > hotK {
+		return 0, fmt.Errorf("stage: inverted cable gradient (hot %v K < cold %v K)", hotK, coldK)
+	}
+	return kappaA[m] * float64(lanes) * float64(hotK-coldK) / lengthM, nil
+}

@@ -1,0 +1,53 @@
+package stage
+
+import (
+	"math"
+	"testing"
+
+	"cryowire/internal/phys"
+)
+
+// FuzzHeatLeak drives the cable heatload estimator with arbitrary
+// material/temperature/length/lane inputs and asserts the satellite
+// invariants: every accepted input yields a non-negative, finite leak
+// that is monotone non-increasing in cable length (conduction ∝ 1/L)
+// and monotone non-decreasing in lane count and gradient.
+func FuzzHeatLeak(f *testing.F) {
+	f.Add(int8(0), 300.0, 4.0, 1.0, 1)
+	f.Add(int8(1), 300.0, 77.0, 0.5, 64)
+	f.Add(int8(2), 77.0, 4.0, 0.3, 128)
+	f.Add(int8(3), 300.0, 300.0, 2.0, 8)
+	f.Add(int8(0), math.NaN(), 4.0, 1.0, 1)
+	f.Add(int8(0), 300.0, -4.0, math.Inf(1), -3)
+	f.Fuzz(func(t *testing.T, matIdx int8, hot, cold, length float64, lanes int) {
+		mats := Materials()
+		m := mats[int(uint8(matIdx))%len(mats)]
+		q, err := HeatLeak(m, phys.Kelvin(hot), phys.Kelvin(cold), length, lanes)
+		if err != nil {
+			// Rejected input: the estimator must refuse, not emit junk.
+			if q != 0 {
+				t.Fatalf("error path returned q=%v", q)
+			}
+			return
+		}
+		if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 {
+			t.Fatalf("HeatLeak(%v, %v, %v, %v, %d) = %v, want non-negative finite", m, hot, cold, length, lanes, q)
+		}
+		// Monotone non-increasing in length: a longer cable of the same
+		// construction leaks no more heat.
+		if longer, err2 := HeatLeak(m, phys.Kelvin(hot), phys.Kelvin(cold), length*2, lanes); err2 == nil && longer > q {
+			t.Fatalf("leak grew with length: %v @ %vm vs %v @ %vm", q, length, longer, length*2)
+		}
+		// Monotone non-decreasing in lanes.
+		if wider, err2 := HeatLeak(m, phys.Kelvin(hot), phys.Kelvin(cold), length, lanes+1); err2 == nil && wider < q {
+			t.Fatalf("leak shrank with extra lane: %v vs %v", q, wider)
+		}
+		// Monotone non-decreasing in gradient: pulling the cold end
+		// colder (still physical) never reduces the leak.
+		if cold/2 > 0 {
+			if steeper, err2 := HeatLeak(m, phys.Kelvin(hot), phys.Kelvin(cold/2), length, lanes); err2 == nil && steeper < q {
+				t.Fatalf("leak shrank with steeper gradient: %v vs %v", q, steeper)
+			}
+		}
+	})
+}

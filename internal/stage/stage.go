@@ -1,0 +1,184 @@
+// Package stage models a computing system split across cryogenic
+// temperature stages — the multi-stage extension the ROADMAP's
+// north-star question needs ("does CryoSP+CryoBus survive at 4 K once
+// cooling overhead bites?"). Components (host, CryoSP tier, memory)
+// are assigned to stages (300 K / 77 K / 4 K); stages are connected by
+// cryogenic cables whose passive heat leak and signal dissipation are
+// charged to the *colder* stage; and each stage's total heatload is
+// lifted to wall power through its own Carnot-fraction cooling
+// overhead. Because CO(4 K) ≈ 25× CO(77 K), stage assignment — not
+// device power — dominates system perf/W, which is exactly the
+// trade-off the Sweep scenarios quantify with full simulation.
+package stage
+
+import (
+	"fmt"
+	"math"
+
+	"cryowire/internal/phys"
+)
+
+// Component is one heat source assigned to a stage. DeviceWatts is in
+// the same absolute watts as the cable model; scenario evaluation
+// converts the power model's relative units with WattsPerUnit.
+type Component struct {
+	Name        string  `json:"name"`
+	DeviceWatts float64 `json:"device_watts"`
+}
+
+// Stage is one temperature stage of the cryostat with the components
+// it hosts.
+type Stage struct {
+	// Name labels the stage in reports ("300K host", "4K tier", ...).
+	Name string `json:"name"`
+	// TempK is the stage temperature.
+	TempK phys.Kelvin `json:"temp_k"`
+	// Components are the heat sources mounted on this stage.
+	Components []Component `json:"components"`
+}
+
+// DeviceWatts sums the stage's component heat.
+func (s Stage) DeviceWatts() float64 {
+	var sum float64
+	for _, c := range s.Components {
+		sum += c.DeviceWatts
+	}
+	return sum
+}
+
+// Cable is one bundle of signal lanes spanning two stages. Both its
+// passive conduction leak (HeatLeak) and the dissipation of its signal
+// drivers (SignalWatts) are charged to the colder stage: the line
+// terminates there, so that is where the heat must be pumped out from.
+type Cable struct {
+	// Name labels the cable in reports ("host↔tier", ...).
+	Name string `json:"name"`
+	// Material selects the κA row of the material table.
+	Material CableMaterial `json:"material"`
+	// HotK and ColdK are the flange temperatures at the two ends.
+	HotK  phys.Kelvin `json:"hot_k"`
+	ColdK phys.Kelvin `json:"cold_k"`
+	// LengthM is the cable run length in meters.
+	LengthM float64 `json:"length_m"`
+	// Lanes is the number of signal lanes in the bundle.
+	Lanes int `json:"lanes"`
+	// SignalWatts is the total signal-driver dissipation of the bundle,
+	// charged to the cold end.
+	SignalWatts float64 `json:"signal_watts"`
+}
+
+// Leak returns the cable's passive conduction heatload in watts.
+func (c Cable) Leak() (float64, error) {
+	return HeatLeak(c.Material, c.HotK, c.ColdK, c.LengthM, c.Lanes)
+}
+
+// System is a full temperature-staged machine: stages plus the cables
+// connecting them, under one cooling model.
+type System struct {
+	// Cooling lifts per-stage heatloads to wall power. The zero value
+	// is replaced by phys.DefaultCooling.
+	Cooling phys.CoolingModel `json:"-"`
+	// Stages are the temperature stages, warmest first by convention.
+	Stages []Stage `json:"stages"`
+	// Cables connect the stages.
+	Cables []Cable `json:"cables"`
+}
+
+// Breakdown is one stage's share of the wall-power bill.
+type Breakdown struct {
+	Stage string  `json:"stage"`
+	TempK float64 `json:"temp_k"`
+	// DeviceWatts is the component heat mounted on the stage.
+	DeviceWatts float64 `json:"device_watts"`
+	// CableLeakWatts is the passive conduction arriving from warmer
+	// stages through every cable whose cold end lands here.
+	CableLeakWatts float64 `json:"cable_leak_watts"`
+	// CableSignalWatts is the signal-driver dissipation charged here.
+	CableSignalWatts float64 `json:"cable_signal_watts"`
+	// HeatloadWatts = device + leak + signal: what the stage's cooler
+	// must pump.
+	HeatloadWatts float64 `json:"heatload_watts"`
+	// CoolingOverhead is CO(TempK) — compressor watts per pumped watt.
+	CoolingOverhead float64 `json:"cooling_overhead"`
+	// WallWatts = Heatload · (1 + CO): the stage's grid draw.
+	WallWatts float64 `json:"wall_watts"`
+}
+
+// Validate checks the system is well-formed: at least one stage,
+// physical stage temperatures the cooling model can serve, valid
+// cables whose cold ends land on actual stages.
+func (sys *System) Validate() error {
+	if len(sys.Stages) == 0 {
+		return fmt.Errorf("stage: system has no stages")
+	}
+	temps := make(map[phys.Kelvin]bool, len(sys.Stages))
+	for _, s := range sys.Stages {
+		if err := phys.ValidTemperature(s.TempK); err != nil {
+			return fmt.Errorf("stage: %s: %w", s.Name, err)
+		}
+		for _, c := range s.Components {
+			if math.IsNaN(c.DeviceWatts) || c.DeviceWatts < 0 {
+				return fmt.Errorf("stage: %s: component %s has invalid power %v", s.Name, c.Name, c.DeviceWatts)
+			}
+		}
+		temps[s.TempK] = true
+	}
+	for _, c := range sys.Cables {
+		if _, err := c.Leak(); err != nil {
+			return fmt.Errorf("stage: cable %s: %w", c.Name, err)
+		}
+		if math.IsNaN(c.SignalWatts) || c.SignalWatts < 0 {
+			return fmt.Errorf("stage: cable %s has invalid signal power %v", c.Name, c.SignalWatts)
+		}
+		if !temps[c.ColdK] {
+			return fmt.Errorf("stage: cable %s cold end at %v K matches no stage", c.Name, c.ColdK)
+		}
+	}
+	return nil
+}
+
+// cooling returns the configured cooling model, defaulting the zero
+// value to the paper's 30 %-of-Carnot plant.
+func (sys *System) cooling() phys.CoolingModel {
+	if sys.Cooling.CarnotFraction == 0 {
+		return phys.DefaultCooling()
+	}
+	return sys.Cooling
+}
+
+// WallPower computes the per-stage breakdown and the system's total
+// wall power in watts. Cable leak and signal heat are charged to the
+// stage at each cable's cold end; every stage's heatload is then
+// lifted by its own CO(T).
+func (sys *System) WallPower() ([]Breakdown, float64, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, 0, err
+	}
+	cool := sys.cooling()
+	out := make([]Breakdown, len(sys.Stages))
+	var total float64
+	for i, s := range sys.Stages {
+		b := Breakdown{
+			Stage:           s.Name,
+			TempK:           float64(s.TempK),
+			DeviceWatts:     s.DeviceWatts(),
+			CoolingOverhead: cool.Overhead(s.TempK),
+		}
+		for _, c := range sys.Cables {
+			if c.ColdK != s.TempK {
+				continue
+			}
+			leak, err := c.Leak()
+			if err != nil {
+				return nil, 0, fmt.Errorf("stage: cable %s: %w", c.Name, err)
+			}
+			b.CableLeakWatts += leak
+			b.CableSignalWatts += c.SignalWatts
+		}
+		b.HeatloadWatts = b.DeviceWatts + b.CableLeakWatts + b.CableSignalWatts
+		b.WallWatts = cool.TotalPower(b.HeatloadWatts, s.TempK)
+		out[i] = b
+		total += b.WallWatts
+	}
+	return out, total, nil
+}

@@ -69,7 +69,16 @@ if ! cmp -s "$TMP/server-dse.json" "$TMP/cli-dse.json"; then
     exit 1
 fi
 
-# 4. Graceful shutdown: SIGTERM must drain and exit cleanly.
+# 4. The temperature-stage endpoint must match `cryowire stage -json`.
+post "$URL/v1/stage" '{"quick":true}' >"$TMP/server-stage.json"
+"$TMP/cryowire" stage -quick -json >"$TMP/cli-stage.json"
+if ! cmp -s "$TMP/server-stage.json" "$TMP/cli-stage.json"; then
+    echo "serve-smoke: /v1/stage differs from 'cryowire stage -quick -json':"
+    diff "$TMP/cli-stage.json" "$TMP/server-stage.json" || true
+    exit 1
+fi
+
+# 5. Graceful shutdown: SIGTERM must drain and exit cleanly.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "serve-smoke: server exited non-zero on SIGTERM"; cat "$TMP/serve.log"; exit 1; }
 grep -q drained "$TMP/serve.log" || { echo "serve-smoke: no drain log line"; cat "$TMP/serve.log"; exit 1; }
