@@ -13,6 +13,10 @@
 #   make serve-smoke - boot `cryowire serve` on a random port, probe
 #                      /healthz and /metrics, and diff the experiment
 #                      endpoint's JSON against the CLI's -json output
+#   make shard-smoke - distributed DSE gate: run one quick grid search
+#                      single-node, as two local shards, and across two
+#                      real `cryowire serve` replicas; the merged
+#                      frontier and journal must be byte-identical
 #   make bench       - Go benchmarks + serial-vs-parallel engine timing
 #                      and server hot/cold throughput (writes BENCH_platform.json)
 #                      + the hot-path harness below
@@ -26,7 +30,7 @@ GO ?= go
 # Lanes per lockstep batch for the bench-sim batch sweep (0 = auto).
 BATCH ?= 0
 
-.PHONY: all build test vet staticcheck race check chaos bench bench-sim serve-smoke
+.PHONY: all build test vet staticcheck race check chaos bench bench-sim serve-smoke shard-smoke
 
 all: check
 
@@ -53,6 +57,9 @@ race:
 
 serve-smoke: build
 	sh scripts/serve_smoke.sh
+
+shard-smoke: build
+	sh scripts/shard_smoke.sh
 
 # The chaos tests fork real `cryowire serve` processes and SIGKILL them
 # mid-job, so they live behind a build tag and out of the -race gate.

@@ -24,8 +24,10 @@ import (
 	"time"
 
 	"cryowire/internal/circuit"
+	"cryowire/internal/dse"
 	"cryowire/internal/experiments"
 	"cryowire/internal/phys"
+	"cryowire/internal/shard"
 	"cryowire/internal/sim"
 	"cryowire/internal/stage"
 	"cryowire/internal/wire"
@@ -82,6 +84,14 @@ type report struct {
 	// -quick` runs); StageSweepFailed is 1 when it aborted.
 	StageSweepSeconds float64 `json:"stage_sweep_seconds"`
 	StageSweepFailed  int     `json:"stage_sweep_failed"`
+
+	// ShardSweepSeconds is the wall time of one quick-space grid DSE run
+	// through the shard coordinator at ShardCount local shards —
+	// partition, concurrent shard runs, journal merge and the replay
+	// that proves byte-identity. ShardSweepFailed is 1 when it aborted.
+	ShardSweepSeconds float64 `json:"shard_sweep_seconds"`
+	ShardCount        int     `json:"shard_count"`
+	ShardSweepFailed  int     `json:"shard_sweep_failed"`
 }
 
 // newSystem builds a warmed system exactly like the in-package Go
@@ -219,6 +229,24 @@ func run(out string, batch int) error {
 		}
 	}
 	rep.StageSweepSeconds = time.Since(start).Seconds()
+
+	// Shard sweep: the quick design space through the shard coordinator
+	// at two local shards — the distribution overhead (partition, merge,
+	// replay) on top of the raw evaluations.
+	rep.ShardCount = 2
+	start = time.Now()
+	if _, serr := shard.Run(context.Background(), dse.Config{
+		Space:    dse.DefaultSpace(true),
+		Strategy: dse.StrategyGrid,
+		Sim:      experiments.QuickOptions().Sim,
+	}, shard.Options{Shards: rep.ShardCount}); serr != nil {
+		fmt.Fprintf(os.Stderr, "benchsim: shard sweep: %v\n", serr)
+		rep.ShardSweepFailed = 1
+		if firstErr == nil {
+			firstErr = serr
+		}
+	}
+	rep.ShardSweepSeconds = time.Since(start).Seconds()
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

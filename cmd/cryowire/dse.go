@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,9 +36,14 @@ func dseMain(args []string) int {
 	nets := fs.String("nets", "", "comma-separated interconnects overriding the default axis")
 	workloads := fs.String("workloads", "", "comma-separated workload names overriding the default axis")
 	stages := fs.String("stages", "", "comma-separated memory-stage temperatures (K) enabling the multi-stage axis")
+	shards := fs.Int("shards", 0, "partition the grid search into n shards run concurrently (0 = single run)")
+	workersURL := fs.String("workers-url", "", "comma-separated base URLs of remote `cryowire serve -jobs-dir` replicas to run the shards on")
+	shardDir := fs.String("shard-dir", "", "directory for per-shard checkpoint journals (default: a temp dir; set one to survive a coordinator crash)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: cryowire dse [-strategy grid|random|hillclimb] [-budget n] [-seed n]
                     [-quick] [-workers n] [-json] [-journal file [-resume]]
+                    [-shards n] [-workers-url http://replica1,http://replica2]
+                    [-shard-dir dir]
                     [-temps 300,77] [-modes nominal,cryosp] [-depths 14,17]
                     [-nets mesh,cryobus] [-workloads x264,...] [-stages 77,4]
 
@@ -52,6 +58,13 @@ Staged candidates are priced through the multi-stage cooling chain
 (cable heat leaks + per-stage Carnot-fraction overheads) instead of
 the flat (1+CO) lift; without -stages the search is unchanged and old
 journals keep resuming.
+
+-shards partitions a grid search into contiguous point-index ranges
+run concurrently — in this process, or on the remote replicas named by
+-workers-url (which also implies sharding, one shard per replica when
+-shards is 0). The merged frontier and -journal are byte-identical to
+the single-run output; a shard whose replica dies is re-dispatched
+locally from its journal checkpoint.
 `)
 		fs.PrintDefaults()
 	}
@@ -67,6 +80,24 @@ journals keep resuming.
 	}
 	if *budget < 0 || *workers < 0 {
 		fmt.Fprintln(os.Stderr, "cryowire dse: -budget and -workers must be >= 0")
+		return 2
+	}
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "cryowire dse: -shards must be >= 0")
+		return 2
+	}
+	replicas, err := splitReplicaURLs(*workersURL)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cryowire dse: %v\n", err)
+		return 2
+	}
+	sharded := *shards > 0 || len(replicas) > 0
+	if sharded && *strategy != dse.StrategyGrid {
+		fmt.Fprintf(os.Stderr, "cryowire dse: -shards requires -strategy grid (got %q): only the exhaustive grid partitions by point index\n", *strategy)
+		return 2
+	}
+	if *shardDir != "" && !sharded {
+		fmt.Fprintln(os.Stderr, "cryowire dse: -shard-dir requires -shards or -workers-url")
 		return 2
 	}
 
@@ -107,7 +138,16 @@ journals keep resuming.
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := cryowire.RunDSE(ctx, cfg)
+	var res *cryowire.DSEResult
+	if sharded {
+		res, err = cryowire.RunShardedDSE(ctx, cfg, cryowire.ShardOptions{
+			Shards:   *shards,
+			Replicas: replicas,
+			Dir:      *shardDir,
+		})
+	} else {
+		res, err = cryowire.RunDSE(ctx, cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cryowire dse: %v\n", err)
 		return 1
@@ -123,6 +163,30 @@ journals keep resuming.
 	}
 	fmt.Print(res.Render())
 	return 0
+}
+
+// splitReplicaURLs parses the -workers-url list, demanding absolute
+// http(s) base URLs so a typo fails here instead of as a dial error
+// mid-search.
+func splitReplicaURLs(raw string) ([]string, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, p := range strings.Split(raw, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("-workers-url: %q is not an http(s) base URL", p)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers-url: no replica URLs in %q", raw)
+	}
+	return out, nil
 }
 
 // overrideSpace replaces any axis the user supplied. Validation of the

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitReplicaURLs(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want []string
+		bad  bool
+	}{
+		{raw: "", want: nil},
+		{raw: "http://127.0.0.1:8080", want: []string{"http://127.0.0.1:8080"}},
+		{raw: "http://a:1, https://b:2 ,", want: []string{"http://a:1", "https://b:2"}},
+		{raw: "ftp://nope", bad: true},
+		{raw: "127.0.0.1:8080", bad: true}, // no scheme
+		{raw: " , ", bad: true},            // nothing but separators
+	}
+	for _, c := range cases {
+		got, err := splitReplicaURLs(c.raw)
+		if c.bad {
+			if err == nil {
+				t.Errorf("splitReplicaURLs(%q) accepted, want error", c.raw)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("splitReplicaURLs(%q): %v", c.raw, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitReplicaURLs(%q) = %v, want %v", c.raw, got, c.want)
+		}
+	}
+}

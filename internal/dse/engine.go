@@ -21,8 +21,16 @@ type Config struct {
 	// the exhaustive grid.
 	Strategy string
 	// Budget caps the number of evaluated candidates. Zero or negative
-	// means the whole space.
+	// means the whole space (or the whole Range when one is set).
 	Budget int
+	// Range, when non-nil, restricts the search to the half-open
+	// point-index interval [Start, End). Requires the grid strategy —
+	// ranges are how a distributed search is partitioned, and only the
+	// exhaustive grid is partitionable by index. The journal key is
+	// deliberately range-blind: every range of a space records under the
+	// same key, so per-range journals merge into one indistinguishable
+	// from a single full-space run's.
+	Range *Range
 	// Seed drives the seeded strategies; runs with equal (space, config,
 	// strategy, seed) produce identical results.
 	Seed int64
@@ -32,6 +40,15 @@ type Config struct {
 	// Workers bounds parallel candidate evaluation; 0 means
 	// par.DefaultWorkers().
 	Workers int
+	// CheckpointEvery caps how many candidates the engine accepts from
+	// the strategy per batch; the journal (and Progress) checkpoint when
+	// a batch lands, so this bounds how much work a killed run loses to
+	// the unjournaled tail. 0 means defaultCheckpointEvery (64) —
+	// enough lanes to keep the lockstep batch runner occupied. Purely a
+	// scheduling knob: like BatchLanes it is excluded from the journal
+	// key and can never change result bytes, because history order is
+	// proposal order at any batch size.
+	CheckpointEvery int
 	// BatchLanes is the lane count per lockstep simulation batch
 	// (sim.BatchRunner); 0 picks an automatic size from Workers,
 	// negative forces single-lane batches. Never part of the journal
@@ -128,6 +145,23 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if budget <= 0 || budget > size {
 		budget = size
 	}
+	if cfg.Range != nil {
+		if err := cfg.Range.Validate(size); err != nil {
+			return nil, err
+		}
+		g, ok := strat.(*gridStrategy)
+		if !ok {
+			return nil, fmt.Errorf("dse: a point-index range requires the %q strategy (got %q): only the exhaustive grid partitions by index", StrategyGrid, cfg.Strategy)
+		}
+		g.cursor, g.limit = cfg.Range.Start, cfg.Range.End
+		if rl := cfg.Range.Len(); budget > rl {
+			budget = rl
+		}
+	}
+	ckpt := cfg.CheckpointEvery
+	if ckpt <= 0 {
+		ckpt = defaultCheckpointEvery
+	}
 	var jl *journal
 	if cfg.Journal != "" {
 		jl, err = openJournal(cfg.Journal, cfg.Space, cfg.Sim, cfg.Resume)
@@ -143,7 +177,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		batch := strat.Next(cfg.Space, hist, budget-len(hist))
+		// Cap each strategy batch at the checkpoint granularity: the
+		// journal is written per batch, so smaller batches bound what a
+		// kill can lose. Strategies only ever see the capped remaining
+		// count, which keeps their proposal sequence — and therefore
+		// every result byte — identical at any CheckpointEvery.
+		ask := budget - len(hist)
+		if ask > ckpt {
+			ask = ckpt
+		}
+		batch := strat.Next(cfg.Space, hist, ask)
 		// Drop out-of-range and repeat proposals; repeats are already in
 		// the history and must not consume budget again.
 		fresh := batch[:0]

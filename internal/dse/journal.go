@@ -31,11 +31,10 @@ type journalHeader struct {
 	Key string `json:"key"`
 }
 
-// journalLine is one completed evaluation.
-type journalLine struct {
-	Index int  `json:"index"`
-	Eval  Eval `json:"eval"`
-}
+// journalLine is one completed evaluation — the exported JournalEntry
+// (merge.go), aliased so the engine's appends and WriteJournal's
+// merged rewrites marshal byte-identically by construction.
+type journalLine = JournalEntry
 
 const journalKind = "cryowire-dse-journal"
 

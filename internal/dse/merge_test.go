@@ -1,0 +1,189 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cryowire/internal/platform"
+	"cryowire/internal/sim"
+)
+
+// mergeSim keeps the merge-law runs cheap; byte-identity only needs
+// determinism, not converged measurements.
+func mergeSim() sim.Config {
+	return sim.Config{WarmupCycles: 200, MeasureCycles: 800, Seed: 1}
+}
+
+// runHalves evaluates the quick space once whole and once as two
+// disjoint range halves, all journaled, on one shared platform cache.
+func runHalves(t *testing.T) (space Space, scfg sim.Config, single *Result, singleJournal []byte, a, b []JournalEntry) {
+	t.Helper()
+	space = DefaultSpace(true)
+	scfg = mergeSim()
+	pf := platform.New()
+	dir := t.TempDir()
+
+	singlePath := filepath.Join(dir, "single.jsonl")
+	single, err := Run(context.Background(), Config{
+		Space: space, Strategy: StrategyGrid, Sim: scfg, Platform: pf, Journal: singlePath,
+	})
+	if err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	singleJournal, err = os.ReadFile(singlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half := space.Size() / 2
+	for i, r := range []Range{{0, half}, {half, space.Size()}} {
+		path := filepath.Join(dir, "half.jsonl")
+		os.Remove(path)
+		if _, err := Run(context.Background(), Config{
+			Space: space, Strategy: StrategyGrid, Sim: scfg, Platform: pf,
+			Journal: path, Range: &r,
+		}); err != nil {
+			t.Fatalf("half %d: %v", i, err)
+		}
+		entries, err := ReadJournal(path, space, scfg)
+		if err != nil {
+			t.Fatalf("read half %d: %v", i, err)
+		}
+		if i == 0 {
+			a = entries
+		} else {
+			b = entries
+		}
+	}
+	return space, scfg, single, singleJournal, a, b
+}
+
+// TestJournalMergeLaws proves the entry merge is commutative,
+// associative and idempotent, and that merging disjoint journal halves
+// rewrites to bytes identical to the single-run journal.
+func TestJournalMergeLaws(t *testing.T) {
+	space, scfg, _, singleJournal, a, b := runHalves(t)
+
+	ab, err := MergeEntries(a, b)
+	if err != nil {
+		t.Fatalf("merge(a,b): %v", err)
+	}
+	ba, err := MergeEntries(b, a)
+	if err != nil {
+		t.Fatalf("merge(b,a): %v", err)
+	}
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatal("merge is not commutative: merge(a,b) != merge(b,a)")
+	}
+	aa, err := MergeEntries(a, a)
+	if err != nil {
+		t.Fatalf("merge(a,a): %v", err)
+	}
+	if !reflect.DeepEqual(aa, a) {
+		t.Fatal("merge is not idempotent: merge(a,a) != a")
+	}
+	abab, err := MergeEntries(ab, a, b, ab)
+	if err != nil {
+		t.Fatalf("merge(ab,a,b,ab): %v", err)
+	}
+	if !reflect.DeepEqual(abab, ab) {
+		t.Fatal("merge is not associative/idempotent over repeated inputs")
+	}
+
+	mergedPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	if err := WriteJournal(mergedPath, space, scfg, ab); err != nil {
+		t.Fatal(err)
+	}
+	mergedBytes, err := os.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedBytes, singleJournal) {
+		t.Fatalf("merged journal differs from single-run journal:\nmerged:\n%s\nsingle:\n%s", mergedBytes, singleJournal)
+	}
+
+	// A conflicting duplicate is a different search, never a silent pick.
+	bad := append([]JournalEntry(nil), a...)
+	bad[0].Eval.Performance++
+	if _, err := MergeEntries(a, bad); err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("conflicting merge error = %v, want conflict", err)
+	}
+}
+
+// TestFrontierMergeLaws proves frontier(A ∪ B) ==
+// frontier(frontier(A) ∪ frontier(B)) plus commutativity and
+// idempotence, against the single-run frontier byte-for-byte.
+func TestFrontierMergeLaws(t *testing.T) {
+	space, _, single, _, a, b := runHalves(t)
+
+	cands := func(entries []JournalEntry) []Candidate {
+		out := make([]Candidate, len(entries))
+		for i, e := range entries {
+			out[i] = Candidate{Index: e.Index, Point: space.At(e.Index), Eval: e.Eval}
+		}
+		return out
+	}
+	// MergeFrontiers of one set is that set's frontier.
+	fa := MergeFrontiers(nil, cands(a))
+	fb := MergeFrontiers(nil, cands(b))
+
+	fab := MergeFrontiers(nil, fa, fb)
+	fba := MergeFrontiers(nil, fb, fa)
+	if !reflect.DeepEqual(fab, fba) {
+		t.Fatal("frontier merge is not commutative")
+	}
+	if faa := MergeFrontiers(nil, fa, fa); !reflect.DeepEqual(faa, fa) {
+		t.Fatal("frontier merge is not idempotent")
+	}
+	if !reflect.DeepEqual(fab, single.Frontier) {
+		t.Fatal("merged half frontiers differ from the single-run frontier")
+	}
+	got, err := (&Result{Frontier: fab}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&Result{Frontier: single.Frontier}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged frontier JSON differs byte-for-byte from the single-run frontier")
+	}
+}
+
+// TestRangeRun pins range semantics: a grid range evaluates exactly its
+// indexes, and the adaptive strategies refuse ranges.
+func TestRangeRun(t *testing.T) {
+	space := DefaultSpace(true)
+	r := Range{Start: 4, End: 12}
+	res, err := Run(context.Background(), Config{
+		Space: space, Strategy: StrategyGrid, Sim: mergeSim(), Range: &r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != r.Len() {
+		t.Fatalf("Evaluated = %d, want %d", res.Evaluated, r.Len())
+	}
+	for _, c := range res.Frontier {
+		if c.Index < r.Start || c.Index >= r.End {
+			t.Fatalf("frontier index %d outside range [%d,%d)", c.Index, r.Start, r.End)
+		}
+	}
+	if _, err := Run(context.Background(), Config{
+		Space: space, Strategy: StrategyRandom, Sim: mergeSim(), Range: &r,
+	}); err == nil || !strings.Contains(err.Error(), "grid") {
+		t.Fatalf("random+range error = %v, want grid-only error", err)
+	}
+	bad := Range{Start: 8, End: 99}
+	if _, err := Run(context.Background(), Config{
+		Space: space, Strategy: StrategyGrid, Sim: mergeSim(), Range: &bad,
+	}); err == nil {
+		t.Fatal("out-of-space range accepted")
+	}
+}

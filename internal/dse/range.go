@@ -1,0 +1,28 @@
+package dse
+
+import "fmt"
+
+// Range restricts a grid search to the half-open point-index interval
+// [Start, End). It is the unit of distribution (internal/shard): a
+// coordinator partitions one space into contiguous ranges and hands
+// each to a worker, and because a point's index is a pure function of
+// the space's axis lists, two processes holding equal spaces agree on
+// what every index means — no point list ever crosses the wire. Only
+// the exhaustive grid strategy accepts a range: the seeded adaptive
+// strategies derive each proposal from the global history, so slicing
+// them by index would change the search itself, not just its schedule.
+type Range struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of point indexes in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Validate checks the range against a space of the given size.
+func (r Range) Validate(size int) error {
+	if r.Start < 0 || r.End > size || r.Start >= r.End {
+		return fmt.Errorf("dse: point-index range [%d,%d) is empty or outside the space [0,%d)", r.Start, r.End, size)
+	}
+	return nil
+}

@@ -60,16 +60,28 @@ func NewStrategy(name string, seed int64) (Strategy, error) {
 
 // --- exhaustive grid --------------------------------------------------------
 
+// defaultCheckpointEvery is the engine's strategy-batch cap when
+// Config.CheckpointEvery is zero: large enough to fill the lockstep
+// batch runner's lanes, small enough that a killed run loses at most
+// this many evaluations to the unjournaled tail.
+const defaultCheckpointEvery = 64
+
 // gridStrategy enumerates the space in index order — the exhaustive
-// sweep the paper's sensitivity studies replay by hand.
+// sweep the paper's sensitivity studies replay by hand. A Config.Range
+// restricts it to [cursor, limit); limit 0 means the whole space.
 type gridStrategy struct {
 	cursor int
+	limit  int
 }
 
 func (g *gridStrategy) Name() string { return StrategyGrid }
 
 func (g *gridStrategy) Next(s Space, _ []HistoryEntry, remaining int) []int {
-	n := s.Size() - g.cursor
+	end := s.Size()
+	if g.limit > 0 && g.limit < end {
+		end = g.limit
+	}
+	n := end - g.cursor
 	if n > remaining {
 		n = remaining
 	}

@@ -12,6 +12,7 @@ import (
 
 	"cryowire/internal/dse"
 	"cryowire/internal/platform"
+	"cryowire/internal/shard"
 )
 
 // Options tunes the manager. The zero value runs one job at a time
@@ -59,8 +60,10 @@ type Manager struct {
 	drainCh  chan struct{}
 
 	// run indirects the engine entry point so tests can interpose on
-	// timing; production always points at dse.Run.
-	run func(ctx context.Context, cfg dse.Config) (*dse.Result, error)
+	// timing; production always points at dse.Run. runSharded is the
+	// same indirection for shard fan-out jobs (production: shard.Run).
+	run        func(ctx context.Context, cfg dse.Config) (*dse.Result, error)
+	runSharded func(ctx context.Context, cfg dse.Config, opt shard.Options) (*dse.Result, error)
 
 	// Counters for /metrics.
 	submitted, completed, failed, canceled, resumed, retries atomic.Uint64
@@ -112,14 +115,15 @@ func Open(dir string, opts Options) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{
-		store:   store,
-		opts:    opts,
-		log:     opts.Logger,
-		bootID:  boot,
-		sem:     make(chan struct{}, opts.MaxConcurrent),
-		jobs:    make(map[string]*tracked),
-		drainCh: make(chan struct{}),
-		run:     dse.Run,
+		store:      store,
+		opts:       opts,
+		log:        opts.Logger,
+		bootID:     boot,
+		sem:        make(chan struct{}, opts.MaxConcurrent),
+		jobs:       make(map[string]*tracked),
+		drainCh:    make(chan struct{}),
+		run:        dse.Run,
+		runSharded: shard.Run,
 	}
 	jobs, damaged, err := store.List()
 	if err != nil {
@@ -176,6 +180,9 @@ func (m *Manager) Submit(sp Spec) (State, error) {
 	if _, err := dse.NewStrategy(orGrid(sp.Strategy), sp.Seed); err != nil {
 		return State{}, err
 	}
+	if err := sp.ValidateSharding(); err != nil {
+		return State{}, err
+	}
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
@@ -230,6 +237,19 @@ func (m *Manager) List() []State {
 		return out[a].ID < out[b].ID
 	})
 	return out
+}
+
+// Journal returns a job's raw checkpoint journal bytes — empty until
+// the first checkpoint. The journal is appended atomically per line,
+// so a concurrent read sees a valid prefix (readers drop a torn tail).
+func (m *Manager) Journal(id string) ([]byte, error) {
+	m.mu.Lock()
+	_, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	return m.store.LoadJournal(id)
 }
 
 // Result returns the result document of a done job.
@@ -471,7 +491,21 @@ func (m *Manager) runJob(t *tracked) {
 		m.mu.Unlock()
 	}
 
-	res, err := m.run(jctx, cfg)
+	var res *dse.Result
+	if t.spec.Sharded() {
+		// Shard fan-out: the coordinator partitions the space, runs the
+		// shards (locally or on remote replicas), and merges into this
+		// job's journal — so recovery, cancel and the journal endpoint
+		// see exactly what a plain job would have written.
+		res, err = m.runSharded(jctx, cfg, shard.Options{
+			Shards:   t.spec.Shards,
+			Replicas: t.spec.Replicas,
+			Dir:      m.store.ShardDir(id),
+			Logger:   m.log,
+		})
+	} else {
+		res, err = m.run(jctx, cfg)
+	}
 	if err != nil {
 		if jctx.Err() != nil {
 			// Deliberate stop (drain or client cancel) or parent

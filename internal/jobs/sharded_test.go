@@ -1,0 +1,124 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// shardedSpec is testSpec fanned out over two local shards.
+func shardedSpec() Spec {
+	sp := testSpec(0)
+	sp.Shards = 2
+	return sp
+}
+
+// TestShardedSpecRoundTrip: the fan-out and range fields survive the
+// spec's JSON shape without disturbing pre-shard spec files, a range
+// restricts Total and Config, and bad combinations fail at resolution.
+func TestShardedSpecRoundTrip(t *testing.T) {
+	// A plain spec must not serialize any shard or range fields
+	// (omitempty keeps old spec files byte-stable on rewrite).
+	b, err := json.Marshal(testSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"shards", "replicas", "range_start", "range_end", "checkpoint_every"} {
+		if bytes.Contains(b, []byte(field)) {
+			t.Fatalf("plain spec serialized %q: %s", field, b)
+		}
+	}
+
+	// A range-restricted spec clips Total and resolves into cfg.Range.
+	rp := testSpec(0)
+	rp.RangeStart, rp.RangeEnd = 2, 6
+	if got := rp.Total(); got != 4 {
+		t.Fatalf("range spec Total = %d, want 4", got)
+	}
+	cfg, err := rp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Range == nil || cfg.Range.Start != 2 || cfg.Range.End != 6 {
+		t.Fatalf("range lost in resolution: %+v", cfg.Range)
+	}
+	back := SpecFromConfig(cfg)
+	if back.RangeStart != 2 || back.RangeEnd != 6 {
+		t.Fatalf("range lost in round trip: %+v", back)
+	}
+
+	// A sharded spec cannot itself be range-restricted.
+	bad := shardedSpec()
+	bad.RangeStart, bad.RangeEnd = 0, 4
+	if _, err := bad.Config(); err == nil {
+		t.Fatal("sharded spec with a range resolved")
+	}
+	// Sharding validation: adaptive strategies and junk replica URLs
+	// are rejected before any job is created.
+	bad = shardedSpec()
+	bad.Strategy = "random"
+	if err := bad.ValidateSharding(); err == nil {
+		t.Fatal("sharded random-strategy spec validated")
+	}
+	bad = shardedSpec()
+	bad.Replicas = []string{"not a url"}
+	if err := bad.ValidateSharding(); err == nil {
+		t.Fatal("junk replica URL validated")
+	}
+	bad = shardedSpec()
+	bad.Replicas = []string{"http://127.0.0.1:1"}
+	bad.SimSeed = 0
+	if err := bad.ValidateSharding(); err == nil {
+		t.Fatal("remote spec with unpinned sim seed validated")
+	}
+}
+
+// TestShardedJobRunsToCompletion: a sharded job goes through the
+// manager's coordinator path — per-shard journals under the job's
+// shards/ directory, merged into the job journal — and its result is
+// byte-identical to the plain synchronous run.
+func TestShardedJobRunsToCompletion(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "jobs")
+	m, err := Open(dir, quietOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.Start(ctx)
+	defer m.Drain(context.Background())
+
+	sp := shardedSpec()
+	st, err := m.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitStatus(t, m, st.ID, StatusDone)
+	if fin.Evaluated != 16 {
+		t.Fatalf("evaluated = %d, want 16", fin.Evaluated)
+	}
+	got, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := testSpec(0)
+	if want := referenceBytes(t, plain); !bytes.Equal(got, want) {
+		t.Fatalf("sharded job result differs from synchronous run:\n got: %s\nwant: %s", got, want)
+	}
+	// The merged journal is in place as the job's own journal.
+	journal, err := m.Journal(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(journal, []byte("cryowire-dse-journal")) {
+		t.Fatalf("job journal missing after sharded run: %q", journal)
+	}
+	// Submitting a sharded spec with a bad replica is rejected up front.
+	bad := shardedSpec()
+	bad.Replicas = []string{"ftp://nope"}
+	if _, err := m.Submit(bad); err == nil {
+		t.Fatal("bad replica URL accepted at submit")
+	}
+}

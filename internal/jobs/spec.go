@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"fmt"
+	"net/url"
 
 	"cryowire/internal/dse"
 	"cryowire/internal/sim"
@@ -41,12 +42,57 @@ type Spec struct {
 	// it never changes the result bytes, so recovered jobs may resume
 	// at a different width than they started.
 	BatchLanes int `json:"batch_lanes,omitempty"`
+	// CheckpointEvery caps evaluations per journal checkpoint (0 = the
+	// engine default). A scheduling knob like BatchLanes.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// RangeStart / RangeEnd restrict a grid job to the half-open
+	// point-index interval [RangeStart, RangeEnd) — the shape a shard
+	// coordinator submits to a replica. Both zero means the whole
+	// space. omitempty keeps pre-shard specs byte-identical on rewrite.
+	RangeStart int `json:"range_start,omitempty"`
+	RangeEnd   int `json:"range_end,omitempty"`
+	// Shards / Replicas turn the job into a shard fan-out: the manager
+	// hands it to the shard coordinator, which partitions the space
+	// into Shards ranges and runs them on local executors (empty
+	// Replicas) or remote `cryowire serve` replicas. A sharded job
+	// cannot itself be range-restricted.
+	Shards   int      `json:"shards,omitempty"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// Sharded reports whether the job runs through the shard coordinator
+// instead of a plain engine run.
+func (sp Spec) Sharded() bool { return sp.Shards > 1 || len(sp.Replicas) > 0 }
+
+// ValidateSharding checks the fan-out parameters of a sharded spec, so
+// a bad submission is rejected up front instead of landing the job on
+// failed. Non-sharded specs pass trivially.
+func (sp Spec) ValidateSharding() error {
+	if !sp.Sharded() {
+		return nil
+	}
+	if s := sp.Strategy; s != "" && s != dse.StrategyGrid {
+		return fmt.Errorf("jobs: spec: sharding requires the %q strategy (got %q)", dse.StrategyGrid, s)
+	}
+	if sp.Shards < 0 {
+		return fmt.Errorf("jobs: spec: negative shard count %d", sp.Shards)
+	}
+	for _, r := range sp.Replicas {
+		u, err := url.Parse(r)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("jobs: spec: replica %q is not an http(s) base URL", r)
+		}
+	}
+	if len(sp.Replicas) > 0 && (sp.WarmupCycles <= 0 || sp.MeasureCycles <= 0 || sp.SimSeed == 0) {
+		return fmt.Errorf("jobs: spec: remote dispatch requires explicit warmup_cycles, measure_cycles and sim seed so replicas journal under the coordinator's key")
+	}
+	return nil
 }
 
 // SpecFromConfig extracts the durable spec from a resolved engine
 // config (the server's DTO resolution already validated it).
 func SpecFromConfig(cfg dse.Config) Spec {
-	return Spec{
+	sp := Spec{
 		Strategy:      cfg.Strategy,
 		Budget:        cfg.Budget,
 		Seed:          cfg.Seed,
@@ -62,6 +108,11 @@ func SpecFromConfig(cfg dse.Config) Spec {
 		Workers:       cfg.Workers,
 		BatchLanes:    cfg.BatchLanes,
 	}
+	if cfg.Range != nil {
+		sp.RangeStart, sp.RangeEnd = cfg.Range.Start, cfg.Range.End
+	}
+	sp.CheckpointEvery = cfg.CheckpointEvery
+	return sp
 }
 
 // Config resolves the spec back into an engine config (journal path
@@ -84,26 +135,45 @@ func (sp Spec) Config() (dse.Config, error) {
 	if err := space.Validate(); err != nil {
 		return dse.Config{}, fmt.Errorf("jobs: spec: %w", err)
 	}
-	return dse.Config{
-		Space:      space,
-		Strategy:   sp.Strategy,
-		Budget:     sp.Budget,
-		Seed:       sp.Seed,
-		Sim:        sim.Config{WarmupCycles: sp.WarmupCycles, MeasureCycles: sp.MeasureCycles, Seed: sp.SimSeed},
-		Workers:    sp.Workers,
-		BatchLanes: sp.BatchLanes,
-	}, nil
+	cfg := dse.Config{
+		Space:           space,
+		Strategy:        sp.Strategy,
+		Budget:          sp.Budget,
+		Seed:            sp.Seed,
+		Sim:             sim.Config{WarmupCycles: sp.WarmupCycles, MeasureCycles: sp.MeasureCycles, Seed: sp.SimSeed},
+		Workers:         sp.Workers,
+		BatchLanes:      sp.BatchLanes,
+		CheckpointEvery: sp.CheckpointEvery,
+	}
+	if sp.RangeStart != 0 || sp.RangeEnd != 0 {
+		if sp.Sharded() {
+			return dse.Config{}, fmt.Errorf("jobs: spec: a sharded job owns its ranges; drop range_start/range_end")
+		}
+		r := dse.Range{Start: sp.RangeStart, End: sp.RangeEnd}
+		if err := r.Validate(space.Size()); err != nil {
+			return dse.Config{}, fmt.Errorf("jobs: spec: %w", err)
+		}
+		cfg.Range = &r
+	}
+	return cfg, nil
 }
 
 // Total is the number of evaluations the job will perform when the
-// strategy does not converge early: the budget clipped to the space.
+// strategy does not converge early: the budget clipped to the space —
+// or to the point-index range for a range-restricted job.
 func (sp Spec) Total() int {
 	size := len(sp.TempsK) * len(sp.Modes) * len(sp.Depths) * len(sp.Nets) * len(sp.Workloads)
 	if n := len(sp.StageTempsK); n > 0 {
 		size *= n
 	}
-	if sp.Budget > 0 && sp.Budget < size {
-		return sp.Budget
+	total := size
+	if sp.Budget > 0 && sp.Budget < total {
+		total = sp.Budget
 	}
-	return size
+	if sp.RangeStart != 0 || sp.RangeEnd != 0 {
+		if rl := sp.RangeEnd - sp.RangeStart; rl > 0 && rl < total {
+			total = rl
+		}
+	}
+	return total
 }

@@ -93,6 +93,7 @@ const (
 	stateFile   = "state.json"
 	journalFile = "journal.jsonl"
 	resultFile  = "result.json"
+	shardsDir   = "shards"
 )
 
 // Store is the directory-per-job persistence layer. All methods are
@@ -142,6 +143,20 @@ func (s *Store) sweep() error {
 		for _, f := range sub {
 			if strings.HasPrefix(f.Name(), tmpPrefix) {
 				s.fs.Remove(filepath.Join(s.root, e.Name(), f.Name()))
+				continue
+			}
+			if f.Name() != shardsDir || !f.IsDir() {
+				continue
+			}
+			// Shard journal merges stage temp files one level deeper.
+			shards, err := os.ReadDir(filepath.Join(s.root, e.Name(), shardsDir))
+			if err != nil {
+				continue
+			}
+			for _, sf := range shards {
+				if strings.HasPrefix(sf.Name(), tmpPrefix) {
+					s.fs.Remove(filepath.Join(s.root, e.Name(), shardsDir, sf.Name()))
+				}
 			}
 		}
 	}
@@ -176,6 +191,28 @@ func (s *Store) dir(id string) string { return filepath.Join(s.root, id) }
 
 // JournalPath returns the job's dse checkpoint journal path.
 func (s *Store) JournalPath(id string) string { return filepath.Join(s.dir(id), journalFile) }
+
+// ShardDir returns the directory a sharded job's per-shard journals
+// live in. It sits inside the job directory so shard checkpoints share
+// the job's lifetime: they survive a crash for re-dispatch and vanish
+// with Delete.
+func (s *Store) ShardDir(id string) string { return filepath.Join(s.dir(id), shardsDir) }
+
+// LoadJournal returns the job's raw checkpoint journal bytes; a job
+// that has not checkpointed yet yields an empty journal, not an error.
+func (s *Store) LoadJournal(id string) ([]byte, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("jobs: invalid job id %q", id)
+	}
+	b, err := os.ReadFile(s.JournalPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	return b, nil
+}
 
 // Create durably persists a new pending job: the spec and initial
 // state are written into a staged ".tmp-" directory which is then

@@ -135,6 +135,28 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, body)
 }
 
+// handleJobJournal serves the job's checkpoint journal verbatim as
+// NDJSON: the header line plus one line per completed evaluation. This
+// is how a shard coordinator mirrors a replica's progress — the bytes
+// are the ground truth the job's state merely indexes. A job that has
+// not checkpointed yet yields an empty 200 body, and a concurrent read
+// races the appender at worst into a torn final line, which every
+// parser in the system already drops.
+func (s *Server) handleJobJournal(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	id := r.PathValue("id")
+	body, err := s.jobs.Journal(id)
+	if err != nil {
+		writeJobError(w, id, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
 // handleJobDelete cancels an active job (200 + state) or removes a
 // terminal one (204).
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {

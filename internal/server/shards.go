@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+
+	"cryowire/internal/jobs"
+)
+
+// POST /v1/dse/shards is the fan-out flavor of the async job API: the
+// submitted search is partitioned into shards by the coordinator
+// (internal/shard) and run on local executors or remote `cryowire
+// serve` replicas, then merged to a result byte-identical to a plain
+// job's. The job itself lives in the same store and is observed
+// through the same /v1/dse/jobs/{id} endpoints — sharding changes how
+// the work is executed, never what the client sees.
+
+// shardDTO extends the DSE request body with the fan-out parameters.
+type shardDTO struct {
+	dseDTO
+	// Shards is the partition count (0 defaults to the replica count,
+	// or 1 when running locally).
+	Shards int `json:"shards"`
+	// Replicas are base URLs of remote `cryowire serve -jobs-dir`
+	// replicas; empty runs every shard in this process.
+	Replicas []string `json:"replicas"`
+}
+
+// handleShardSubmit accepts a shard fan-out submission: 202 plus the
+// job state, observable under /v1/dse/jobs/{id} like any other job.
+func (s *Server) handleShardSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	var dto shardDTO
+	if err := decodeStrict(r, &dto); err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	if dto.RangeStart != 0 || dto.RangeEnd != 0 {
+		writeError(w, http.StatusBadRequest, "a sharded search owns its point ranges; drop range_start/range_end")
+		return
+	}
+	cfg, err := dto.resolve(0) // async: no candidate cap
+	if err != nil {
+		writeError(w, errorStatus(err), err.Error())
+		return
+	}
+	sp := jobs.SpecFromConfig(cfg)
+	sp.Shards = dto.Shards
+	sp.Replicas = dto.Replicas
+	if err := sp.ValidateSharding(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, err := s.jobs.Submit(sp)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "draining") {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/v1/dse/jobs/"+st.ID)
+	writeJSONStatus(w, http.StatusAccepted, st)
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cryowire/internal/jobs"
+)
+
+// tinyShardBody is tinyJobBody fanned out over two local shards, with
+// the sim config fully pinned so every shard journals under one key.
+func tinyShardBody() string {
+	return `{"quick": true, "budget": 4, "workloads": ["x264"], "shards": 2,
+		"config": {"warmup_cycles": 300, "measure_cycles": 900, "seed": 7}}`
+}
+
+// TestShardSubmitLifecycle: POST /v1/dse/shards → 202 + Location into
+// the plain jobs namespace → poll to done → the result is
+// byte-identical to the synchronous /v1/dse response for the same
+// search, and the journal endpoint serves the merged checkpoint.
+func TestShardSubmitLifecycle(t *testing.T) {
+	s := newJobsServer(t, Config{})
+	h := s.Handler()
+
+	rec := do(t, h, "POST", "/v1/dse/shards", tinyShardBody())
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("shard submit status %d: %s", rec.Code, rec.Body)
+	}
+	var st jobs.State
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/dse/jobs/"+st.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+	fin := pollJob(t, h, st.ID, jobs.StatusDone)
+	if fin.Evaluated != 4 {
+		t.Fatalf("evaluated = %d, want 4", fin.Evaluated)
+	}
+
+	got := do(t, h, "GET", "/v1/dse/jobs/"+st.ID+"/result", "")
+	if got.Code != 200 {
+		t.Fatalf("result status %d: %s", got.Code, got.Body)
+	}
+	// Same search without the fan-out fields, synchronously.
+	sync := do(t, h, "POST", "/v1/dse", `{"quick": true, "budget": 4, "workloads": ["x264"],
+		"config": {"warmup_cycles": 300, "measure_cycles": 900, "seed": 7}}`)
+	if sync.Code != 200 {
+		t.Fatalf("sync dse status %d: %s", sync.Code, sync.Body)
+	}
+	if got.Body.String() != sync.Body.String() {
+		t.Fatalf("sharded result differs from sync response:\nshard: %s\nsync:  %s", got.Body, sync.Body)
+	}
+
+	journal := do(t, h, "GET", "/v1/dse/jobs/"+st.ID+"/journal", "")
+	if journal.Code != 200 || !strings.Contains(journal.Body.String(), "cryowire-dse-journal") {
+		t.Fatalf("journal status %d body %q", journal.Code, journal.Body)
+	}
+	if ct := journal.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("journal Content-Type = %q", ct)
+	}
+	if rec := do(t, h, "GET", "/v1/dse/jobs/ffffffffffffffff/journal", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown-job journal = %d", rec.Code)
+	}
+}
+
+// TestShardSubmitValidation pins the 400s the fan-out endpoint owes
+// clients before any job is created.
+func TestShardSubmitValidation(t *testing.T) {
+	s := newJobsServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		name, body, hint string
+	}{
+		{"adaptive strategy", `{"quick": true, "shards": 2, "strategy": "random"}`, "grid"},
+		{"caller range", `{"quick": true, "shards": 2, "range_start": 0, "range_end": 2}`, "range"},
+		{"bad replica url", `{"quick": true, "replicas": ["ftp://nope"],
+			"config": {"warmup_cycles": 100, "measure_cycles": 200, "seed": 1}}`, "replica"},
+		{"negative shards", `{"quick": true, "shards": -2, "replicas": ["http://127.0.0.1:1"],
+			"config": {"warmup_cycles": 100, "measure_cycles": 200, "seed": 1}}`, "shard"},
+	}
+	for _, c := range cases {
+		rec := do(t, h, "POST", "/v1/dse/shards", c.body)
+		if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), c.hint) {
+			t.Errorf("%s: status %d body %s (want 400 containing %q)", c.name, rec.Code, rec.Body, c.hint)
+		}
+	}
+}
+
+// TestShardEndpointsDisabled: without a jobs dir the fan-out and
+// journal endpoints 404 like the rest of the async API.
+func TestShardEndpointsDisabled(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/dse/shards", tinyShardBody()); rec.Code != http.StatusNotFound {
+		t.Fatalf("shards with jobs disabled = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "GET", "/v1/dse/jobs/ffffffffffffffff/journal", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("journal with jobs disabled = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestDSEOverCapHint pins the synchronous cap's error body: it must
+// point at every escape hatch — the async jobs API, the shard fan-out
+// (server and CLI spellings), and the local CLI.
+func TestDSEOverCapHint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	rec := do(t, h, "POST", "/v1/dse", dseOverCapBody())
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("over-cap status = %d: %s", rec.Code, rec.Body)
+	}
+	body := rec.Body.String()
+	for _, hint := range []string{"POST /v1/dse/jobs", "POST /v1/dse/shards", "cryowire dse -shards"} {
+		if !strings.Contains(body, hint) {
+			t.Errorf("over-cap body missing hint %q: %s", hint, body)
+		}
+	}
+}
+
+// TestRangeRequest pins the synchronous range-restricted request: a
+// grid range caps evaluation to the range and the cache keys ranges
+// separately; a range on an adaptive strategy is a 400.
+func TestRangeRequest(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	body := `{"quick": true, "workloads": ["x264"], "range_start": 1, "range_end": 3,
+		"config": {"warmup_cycles": 300, "measure_cycles": 900}}`
+	rec := do(t, h, "POST", "/v1/dse", body)
+	if rec.Code != 200 {
+		t.Fatalf("range request status %d: %s", rec.Code, rec.Body)
+	}
+	var res struct {
+		Evaluated int `json:"evaluated"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 2 {
+		t.Fatalf("evaluated = %d, want 2 (range [1,3))", res.Evaluated)
+	}
+	whole := do(t, h, "POST", "/v1/dse", `{"quick": true, "workloads": ["x264"],
+		"config": {"warmup_cycles": 300, "measure_cycles": 900}}`)
+	if whole.Code != 200 {
+		t.Fatalf("whole-space status %d: %s", whole.Code, whole.Body)
+	}
+	if whole.Body.String() == rec.Body.String() {
+		t.Fatal("range and whole-space responses are identical; range leaked into the cache key?")
+	}
+	if rec := do(t, h, "POST", "/v1/dse", `{"quick": true, "strategy": "random",
+		"range_start": 0, "range_end": 2}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("range+random status = %d: %s", rec.Code, rec.Body)
+	}
+}

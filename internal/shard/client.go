@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cryowire/internal/dse"
+)
+
+// The remote executor speaks the server's async jobs API over plain
+// HTTP. The wire structs below mirror the server's DTOs by JSON shape
+// rather than by import: internal/server imports this package (for
+// the /v1/dse/shards fan-out and the /metrics counters), so importing
+// it back would be a cycle.
+
+// jobSubmit is the POST /v1/dse/jobs body for one range-restricted
+// shard. Every axis is sent explicitly — axis overrides replace the
+// server's defaults wholesale, so the replica reconstructs exactly the
+// coordinator's space and journals under exactly its key.
+type jobSubmit struct {
+	Strategy        string    `json:"strategy"`
+	Seed            int64     `json:"seed"`
+	TempsK          []float64 `json:"temps_k"`
+	Modes           []string  `json:"modes"`
+	Depths          []int     `json:"depths"`
+	Nets            []string  `json:"nets"`
+	Workloads       []string  `json:"workloads"`
+	StageTempsK     []float64 `json:"stage_temps_k,omitempty"`
+	RangeStart      int       `json:"range_start"`
+	RangeEnd        int       `json:"range_end"`
+	CheckpointEvery int       `json:"checkpoint_every,omitempty"`
+	Config          struct {
+		WarmupCycles  int   `json:"warmup_cycles"`
+		MeasureCycles int   `json:"measure_cycles"`
+		Seed          int64 `json:"seed"`
+	} `json:"config"`
+}
+
+// jobState is the slice of jobs.State the executor polls on.
+type jobState struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+// client is a retrying HTTP client for one replica. Network errors,
+// 5xx and 429 retry with exponential backoff; other 4xx are permanent
+// — the request itself is wrong and repeating it cannot help.
+type client struct {
+	base     string
+	hc       *http.Client
+	attempts int
+	backoff  time.Duration
+}
+
+func newClient(base string, hc *http.Client, attempts int, backoff time.Duration) *client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if attempts <= 0 {
+		attempts = 4
+	}
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	return &client{base: strings.TrimRight(base, "/"), hc: hc, attempts: attempts, backoff: backoff}
+}
+
+// do issues one request with the retry policy and returns the response
+// body of the first 2xx.
+func (c *client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	backoff := c.backoff
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			stats.httpRetries.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		start := time.Now()
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			stats.observeReplica(c.base, time.Since(start).Seconds(), true)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		stats.observeReplica(c.base, time.Since(start).Seconds(), resp.StatusCode >= 400)
+		if rerr != nil {
+			lastErr = fmt.Errorf("%s %s: read response: %w", method, path, rerr)
+			continue
+		}
+		switch {
+		case resp.StatusCode < 300:
+			return data, nil
+		case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+			lastErr = fmt.Errorf("%s %s: replica answered %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+		default:
+			return nil, fmt.Errorf("shard: %s %s: replica rejected the request (%d): %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+		}
+	}
+	return nil, fmt.Errorf("shard: replica %s gave up after %d attempts: %w", c.base, c.attempts, lastErr)
+}
+
+// remoteExecutor runs one shard on a replica: submit a
+// range-restricted job, then poll its state and incrementally mirror
+// its journal into the shard's local journal file. The mirror is the
+// failure currency — if the replica dies, the coordinator re-dispatches
+// the shard locally and the local executor resumes from exactly the
+// mirrored checkpoint, so a dead replica costs only the unmirrored
+// tail.
+type remoteExecutor struct {
+	c    *client
+	poll time.Duration
+}
+
+func (e *remoteExecutor) run(ctx context.Context, cfg dse.Config, r dse.Range, journalPath string, progress func(done int)) error {
+	w, err := dse.OpenJournalWriter(journalPath, cfg.Space, cfg.Sim)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	covered := func() int {
+		n := 0
+		for i := r.Start; i < r.End; i++ {
+			if w.Has(i) {
+				n++
+			}
+		}
+		return n
+	}
+	report := func(n int) {
+		if progress != nil {
+			progress(n)
+		}
+	}
+	if n := covered(); n == r.Len() {
+		// A previous dispatch already mirrored the whole range.
+		report(n)
+		return nil
+	}
+
+	id, err := e.submit(ctx, cfg, r)
+	if err != nil {
+		return err
+	}
+	// Whatever happens, try not to leave the job behind on the replica:
+	// cancel it if it still runs, remove it if it finished. Best effort
+	// on a background context — the run context may already be dead.
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.c.do(dctx, http.MethodDelete, "/v1/dse/jobs/"+id, nil)
+		e.c.do(dctx, http.MethodDelete, "/v1/dse/jobs/"+id, nil)
+	}()
+
+	for {
+		stb, err := e.c.do(ctx, http.MethodGet, "/v1/dse/jobs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		var st jobState
+		if err := json.Unmarshal(stb, &st); err != nil {
+			return fmt.Errorf("shard: replica job state: %w", err)
+		}
+		// Fetch the journal after observing the state: when the state
+		// says done, this read necessarily holds every line.
+		data, err := e.c.do(ctx, http.MethodGet, "/v1/dse/jobs/"+id+"/journal", nil)
+		if err != nil {
+			return err
+		}
+		entries, err := dse.ParseJournal(data, cfg.Space, cfg.Sim)
+		if err != nil {
+			return fmt.Errorf("shard: replica journal: %w", err)
+		}
+		for _, en := range entries {
+			if en.Index < r.Start || en.Index >= r.End {
+				continue // foreign index: never let one shard's journal leak into another's range
+			}
+			if err := w.Record(en); err != nil {
+				return err
+			}
+		}
+		report(covered())
+		switch st.Status {
+		case "done":
+			if n := covered(); n != r.Len() {
+				return fmt.Errorf("shard: replica job %s done but its journal covers %d/%d of [%d,%d)", id, n, r.Len(), r.Start, r.End)
+			}
+			return nil
+		case "failed", "canceled", "interrupted":
+			return fmt.Errorf("shard: replica job %s ended %s: %s", id, st.Status, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(e.poll):
+		}
+	}
+}
+
+// submit posts the range-restricted job and returns its id.
+func (e *remoteExecutor) submit(ctx context.Context, cfg dse.Config, r dse.Range) (string, error) {
+	req := jobSubmit{
+		Strategy:        dse.StrategyGrid,
+		Seed:            cfg.Seed,
+		TempsK:          cfg.Space.TempsK,
+		Modes:           cfg.Space.Modes,
+		Depths:          cfg.Space.Depths,
+		Nets:            cfg.Space.Nets,
+		Workloads:       cfg.Space.WorkloadNames,
+		StageTempsK:     cfg.Space.StageTempsK,
+		RangeStart:      r.Start,
+		RangeEnd:        r.End,
+		CheckpointEvery: cfg.CheckpointEvery,
+	}
+	req.Config.WarmupCycles = cfg.Sim.WarmupCycles
+	req.Config.MeasureCycles = cfg.Sim.MeasureCycles
+	req.Config.Seed = cfg.Sim.Seed
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := e.c.do(ctx, http.MethodPost, "/v1/dse/jobs", body)
+	if err != nil {
+		return "", err
+	}
+	var st jobState
+	if err := json.Unmarshal(resp, &st); err != nil {
+		return "", fmt.Errorf("shard: replica submit response: %w", err)
+	}
+	if st.ID == "" {
+		return "", fmt.Errorf("shard: replica submit response carried no job id: %s", strings.TrimSpace(string(resp)))
+	}
+	return st.ID, nil
+}

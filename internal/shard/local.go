@@ -1,0 +1,40 @@
+package shard
+
+import (
+	"context"
+
+	"cryowire/internal/dse"
+)
+
+// runLocal is the engine entry point, indirected so tests can inject
+// mid-shard crashes; production always points at dse.Run.
+var runLocal = dse.Run
+
+// localExecutor runs one shard in-process: a range-restricted grid
+// search journaling into the shard's journal file. Resume is always
+// on — openJournal treats an empty file as fresh — so a re-dispatched
+// shard picks up at its checkpoint and re-simulates only the
+// unjournaled tail. The engine itself checkpoints the journal every
+// CheckpointEvery evaluations, which is what bounds that tail.
+type localExecutor struct {
+	// workers bounds this shard's parallel evaluation; 0 lets the
+	// engine default to all CPUs.
+	workers int
+}
+
+func (e *localExecutor) run(ctx context.Context, cfg dse.Config, r dse.Range, journalPath string, progress func(done int)) error {
+	sub := cfg
+	sub.Range = &r
+	sub.Budget = 0
+	sub.Journal = journalPath
+	sub.Resume = true
+	sub.Workers = e.workers
+	sub.Progress = nil
+	if progress != nil {
+		// The engine counts journal-replayed entries too, so a resumed
+		// shard's progress is monotonic from its checkpoint.
+		sub.Progress = func(evaluated, _ int) { progress(evaluated) }
+	}
+	_, err := runLocal(ctx, sub)
+	return err
+}

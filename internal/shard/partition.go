@@ -1,0 +1,53 @@
+// Package shard distributes one design-space exploration across
+// workers: a coordinator partitions the space's point indexes into
+// contiguous ranges, dispatches each range to an executor — an
+// in-process engine run, or a remote `cryowire serve` replica spoken
+// to over the async jobs API — and merges the per-shard checkpoint
+// journals and Pareto frontiers into a result byte-identical to a
+// single-node run of the same search.
+//
+// Everything rests on two properties of the engine. First, a point's
+// index is a pure function of the space's axis lists, so processes
+// holding equal spaces agree on what every index means and only index
+// ranges ever cross the wire. Second, the checkpoint journal's key
+// binds (space, sim config) but never a range or schedule, so all
+// shards of one search record under one key and their journals merge
+// (commutatively, associatively, idempotently — dse.MergeEntries)
+// into a journal indistinguishable from a single-node run's. The
+// coordinator finishes by replaying that merged journal through
+// dse.Run, which serves every evaluation from the journal's memo: the
+// final result is byte-identical to the single-node run by
+// construction, and any entries a dead shard failed to deliver are
+// transparently re-evaluated locally.
+package shard
+
+import "cryowire/internal/dse"
+
+// Partition divides the half-open point-index interval [0, n) into at
+// most k contiguous ranges that cover every index exactly once, with
+// sizes differing by at most one (the first n%k ranges get the extra
+// index). k is clamped to [1, n], so no range is ever empty; n <= 0
+// yields no ranges. FuzzPartition proves the exactly-once coverage.
+func Partition(n, k int) []dse.Range {
+	if n <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]dse.Range, k)
+	base, extra := n/k, n%k
+	start := 0
+	for i := range out {
+		length := base
+		if i < extra {
+			length++
+		}
+		out[i] = dse.Range{Start: start, End: start + length}
+		start += length
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package shard
+
+import "testing"
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		n, k    int
+		lens    []int
+		noneFor bool
+	}{
+		{n: 16, k: 2, lens: []int{8, 8}},
+		{n: 16, k: 4, lens: []int{4, 4, 4, 4}},
+		{n: 10, k: 3, lens: []int{4, 3, 3}},
+		{n: 3, k: 8, lens: []int{1, 1, 1}}, // clamped: no empty shards
+		{n: 5, k: 0, lens: []int{5}},       // clamped up to 1
+		{n: 0, k: 4, noneFor: true},
+		{n: -3, k: 2, noneFor: true},
+	}
+	for _, c := range cases {
+		got := Partition(c.n, c.k)
+		if c.noneFor {
+			if got != nil {
+				t.Errorf("Partition(%d,%d) = %v, want nil", c.n, c.k, got)
+			}
+			continue
+		}
+		if len(got) != len(c.lens) {
+			t.Fatalf("Partition(%d,%d) = %v, want %d ranges", c.n, c.k, got, len(c.lens))
+		}
+		next := 0
+		for i, r := range got {
+			if r.Start != next || r.Len() != c.lens[i] {
+				t.Fatalf("Partition(%d,%d)[%d] = %+v, want start %d len %d", c.n, c.k, i, r, next, c.lens[i])
+			}
+			next = r.End
+		}
+		if next != c.n {
+			t.Fatalf("Partition(%d,%d) covers [0,%d), want [0,%d)", c.n, c.k, next, c.n)
+		}
+	}
+}
+
+// FuzzPartition proves the partition contract over arbitrary space
+// sizes and shard counts: the ranges are contiguous, non-empty, in
+// order, and their union covers [0, n) with every index assigned
+// exactly once.
+func FuzzPartition(f *testing.F) {
+	f.Add(16, 2)
+	f.Add(16, 4)
+	f.Add(576, 7)
+	f.Add(1, 1)
+	f.Add(3, 100)
+	f.Add(0, 5)
+	f.Add(-9, -3)
+	f.Add(1<<20, 64)
+	f.Fuzz(func(t *testing.T, n, k int) {
+		if n > 1<<22 {
+			n %= 1 << 22 // bound the coverage walk, not the property
+		}
+		ranges := Partition(n, k)
+		if n <= 0 {
+			if ranges != nil {
+				t.Fatalf("Partition(%d,%d) = %v, want nil", n, k, ranges)
+			}
+			return
+		}
+		want := k
+		if want < 1 {
+			want = 1
+		}
+		if want > n {
+			want = n
+		}
+		if len(ranges) != want {
+			t.Fatalf("Partition(%d,%d) yielded %d ranges, want %d", n, k, len(ranges), want)
+		}
+		next := 0
+		minLen, maxLen := n, 0
+		for i, r := range ranges {
+			if r.Start != next {
+				t.Fatalf("range %d starts at %d, want %d (gap or overlap)", i, r.Start, next)
+			}
+			if r.Len() <= 0 {
+				t.Fatalf("range %d is empty: %+v", i, r)
+			}
+			if l := r.Len(); l < minLen {
+				minLen = l
+			}
+			if l := r.Len(); l > maxLen {
+				maxLen = l
+			}
+			next = r.End
+		}
+		if next != n {
+			t.Fatalf("union covers [0,%d), want [0,%d)", next, n)
+		}
+		if maxLen-minLen > 1 {
+			t.Fatalf("unbalanced partition: shard sizes span [%d,%d]", minLen, maxLen)
+		}
+	})
+}

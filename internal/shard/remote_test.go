@@ -1,0 +1,210 @@
+// Remote-executor tests live in an external test package: they boot a
+// real server (internal/server imports internal/shard for the fan-out
+// endpoint and metrics), so an internal test file would be an import
+// cycle.
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cryowire/internal/dse"
+	"cryowire/internal/platform"
+	"cryowire/internal/server"
+	"cryowire/internal/shard"
+	"cryowire/internal/sim"
+)
+
+func quietLogger() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// remoteCfg is the quick space with a fully pinned sim config (remote
+// dispatch requires one, so replicas journal under the coordinator's
+// key) and a small checkpoint cadence so journals are mirrorable
+// mid-run.
+func remoteCfg(pf *platform.Platform) dse.Config {
+	return dse.Config{
+		Space:           dse.DefaultSpace(true),
+		Strategy:        dse.StrategyGrid,
+		Sim:             sim.Config{WarmupCycles: 200, MeasureCycles: 800, Seed: 1},
+		Platform:        pf,
+		CheckpointEvery: 2,
+	}
+}
+
+// singleNodeRef runs the reference single-node search, journaled.
+func singleNodeRef(t *testing.T, pf *platform.Platform) (resJSON, journal []byte) {
+	t.Helper()
+	cfg := remoteCfg(pf)
+	cfg.Journal = filepath.Join(t.TempDir(), "single.jsonl")
+	res, err := dse.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("single-node run: %v", err)
+	}
+	resJSON, err = res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err = os.ReadFile(cfg.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resJSON, journal
+}
+
+// startReplica boots a jobs-enabled server on a loopback listener.
+func startReplica(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		JobsDir: filepath.Join(t.TempDir(), "jobs"),
+		Logger:  quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return ts
+}
+
+// maxProgress tracks the high-water mark of an aggregate progress
+// stream that may be reported concurrently from shard goroutines.
+func maxProgress() (func(int, int), func() int) {
+	var mu sync.Mutex
+	high := 0
+	return func(ev, _ int) {
+			mu.Lock()
+			if ev > high {
+				high = ev
+			}
+			mu.Unlock()
+		}, func() int {
+			mu.Lock()
+			defer mu.Unlock()
+			return high
+		}
+}
+
+// TestShardRemoteLoopbackByteIdentical is the remote golden gate: a
+// 2-shard run dispatched to a loopback `cryowire serve` replica over
+// the real jobs API produces a result and merged journal byte-identical
+// to the single-node run.
+func TestShardRemoteLoopbackByteIdentical(t *testing.T) {
+	pf := platform.New()
+	wantJSON, wantJournal := singleNodeRef(t, pf)
+	ts := startReplica(t)
+
+	cfg := remoteCfg(pf)
+	cfg.Journal = filepath.Join(t.TempDir(), "merged.jsonl")
+	report, high := maxProgress()
+	cfg.Progress = report
+	res, err := shard.Run(context.Background(), cfg, shard.Options{
+		Shards:       2,
+		Replicas:     []string{ts.URL},
+		Dir:          t.TempDir(),
+		PollInterval: 10 * time.Millisecond,
+		Logger:       quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("remote sharded run: %v", err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantJSON) {
+		t.Fatal("remote sharded result differs from single-node run")
+	}
+	gotJournal, err := os.ReadFile(cfg.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJournal, wantJournal) {
+		t.Fatalf("remote merged journal differs from single-node journal:\n%s\nwant:\n%s", gotJournal, wantJournal)
+	}
+	if n := high(); n != cfg.Space.Size() {
+		t.Fatalf("final progress %d, want %d", n, cfg.Space.Size())
+	}
+	st := shard.ReadStats()
+	if st.Replicas[ts.URL].Requests == 0 {
+		t.Fatalf("no per-replica HTTP stats recorded for %s: %+v", ts.URL, st.Replicas)
+	}
+}
+
+// TestShardRemoteReplicaDeath kills the replica for every poll — jobs
+// submit fine, then the replica is unreachable — and proves each shard
+// is re-dispatched to a local executor and the merged output still
+// lands on single-node bytes.
+func TestShardRemoteReplicaDeath(t *testing.T) {
+	pf := platform.New()
+	wantJSON, wantJournal := singleNodeRef(t, pf)
+	ts := startReplica(t)
+	tsURL, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := httputil.NewSingleHostReverseProxy(tsURL)
+	rp.ErrorLog = nil
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			// The replica accepted the shard, then vanished before the
+			// first poll could mirror anything.
+			http.Error(w, "replica vanished mid-flight", http.StatusBadGateway)
+			return
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	before := shard.ReadStats()
+	cfg := remoteCfg(pf)
+	cfg.Journal = filepath.Join(t.TempDir(), "merged.jsonl")
+	res, err := shard.Run(context.Background(), cfg, shard.Options{
+		Shards:        2,
+		Replicas:      []string{proxy.URL},
+		Dir:           t.TempDir(),
+		PollInterval:  10 * time.Millisecond,
+		RetryAttempts: 2,
+		RetryBackoff:  5 * time.Millisecond,
+		Logger:        quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("sharded run with dead replica: %v", err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantJSON) {
+		t.Fatal("result after replica death differs from single-node run")
+	}
+	gotJournal, err := os.ReadFile(cfg.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJournal, wantJournal) {
+		t.Fatal("merged journal after replica death differs from single-node journal")
+	}
+	after := shard.ReadStats()
+	if after.Redispatched-before.Redispatched < 2 {
+		t.Fatalf("redispatched delta = %d, want >= 2 (both shards lost their replica)", after.Redispatched-before.Redispatched)
+	}
+	if after.HTTPRetries == before.HTTPRetries {
+		t.Fatal("no HTTP retries recorded against the dead replica")
+	}
+}

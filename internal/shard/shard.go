@@ -1,0 +1,294 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cryowire/internal/dse"
+	"cryowire/internal/par"
+	"cryowire/internal/platform"
+)
+
+// Options configures the coordinator. The zero value runs one local
+// shard — a plain engine run with extra steps, useful only as a
+// degenerate case.
+type Options struct {
+	// Shards is the partition count. 0 defaults to len(Replicas), or 1
+	// when there are none; it is clamped to the evaluation count so no
+	// shard is empty.
+	Shards int
+	// Replicas are base URLs of remote `cryowire serve -jobs-dir`
+	// replicas. Non-empty means every shard runs remotely, assigned
+	// round-robin; empty means every shard runs in-process.
+	Replicas []string
+	// Dir holds the per-shard journals (and the merged journal when
+	// Config.Journal is empty). Empty means a temp dir removed when Run
+	// returns; pass a durable dir to make shard checkpoints survive a
+	// coordinator crash.
+	Dir string
+	// PollInterval is the remote state/journal mirror cadence (default
+	// 500ms).
+	PollInterval time.Duration
+	// RetryAttempts / RetryBackoff tune the replica HTTP client: total
+	// attempts per request (default 4) and first backoff (default
+	// 250ms, doubling per attempt). Retries target 5xx, 429 and network
+	// errors; other 4xx are permanent.
+	RetryAttempts int
+	RetryBackoff  time.Duration
+	// Redispatch bounds how many times a failed shard is re-dispatched
+	// to a local executor, resuming from its journal checkpoint (0
+	// means 1; negative disables re-dispatch).
+	Redispatch int
+	// Client overrides the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+	// Logger receives dispatch/re-dispatch lines; nil stays silent.
+	Logger *slog.Logger
+}
+
+// executor runs one shard, journaling every completed evaluation into
+// the shard's journal file and reporting monotonic per-shard progress.
+type executor interface {
+	run(ctx context.Context, cfg dse.Config, r dse.Range, journalPath string, progress func(done int)) error
+}
+
+// Run executes one sharded design-space search. The config is the
+// same one a single-node dse.Run would take (grid strategy only —
+// ranges partition nothing else); cfg.Journal, when set, becomes the
+// merged journal and cfg.Progress observes the aggregate count across
+// shards (it may be called concurrently from shard goroutines). The
+// result — and the merged journal — are byte-identical to the
+// single-node run's: shard journals merge order-independently, the
+// merged journal is replayed through the engine, and the replayed
+// frontier is cross-checked against the order-independent merge of
+// the per-shard frontiers.
+func Run(ctx context.Context, cfg dse.Config, opt Options) (*dse.Result, error) {
+	if err := cfg.Space.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = dse.StrategyGrid
+	}
+	if cfg.Strategy != dse.StrategyGrid {
+		return nil, fmt.Errorf("shard: sharding requires the %q strategy (got %q): only the exhaustive grid partitions by point index", dse.StrategyGrid, cfg.Strategy)
+	}
+	if cfg.Range != nil {
+		return nil, errors.New("shard: cfg.Range is owned by the coordinator; bound the search with Budget instead")
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = platform.Default()
+	}
+	size := cfg.Space.Size()
+	budget := cfg.Budget
+	if budget <= 0 || budget > size {
+		budget = size
+	}
+	if len(opt.Replicas) > 0 && (cfg.Sim.WarmupCycles <= 0 || cfg.Sim.MeasureCycles <= 0 || cfg.Sim.Seed == 0) {
+		// The replica fills zero sim fields with its own defaults and
+		// would journal under a different key than the coordinator
+		// expects; demand a fully pinned config instead of merging
+		// nothing later.
+		return nil, errors.New("shard: remote dispatch requires explicit sim config (warmup, measure cycles and seed) so replicas journal under the coordinator's key")
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		if len(opt.Replicas) > 0 {
+			shards = len(opt.Replicas)
+		} else {
+			shards = 1
+		}
+	}
+	ranges := Partition(budget, shards)
+
+	dir := opt.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "cryowire-shard-")
+		if err != nil {
+			return nil, fmt.Errorf("shard: journal dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: journal dir: %w", err)
+	}
+	merged := cfg.Journal
+	if merged == "" {
+		merged = filepath.Join(dir, "merged.jsonl")
+	} else if !cfg.Resume {
+		if st, err := os.Stat(merged); err == nil && st.Size() > 0 {
+			return nil, fmt.Errorf("dse: journal %s already exists; pass -resume to continue it or remove it to start over", merged)
+		}
+	}
+
+	// Aggregate progress: each shard owns a monotonic counter, the sum
+	// is reported on every change.
+	report := cfg.Progress
+	cfg.Progress = nil
+	done := make([]atomic.Int64, len(ranges))
+	progressFor := func(i int) func(int) {
+		if report == nil {
+			return nil
+		}
+		return func(n int) {
+			done[i].Store(int64(n))
+			sum := 0
+			for k := range done {
+				sum += int(done[k].Load())
+			}
+			report(sum, budget)
+		}
+	}
+
+	// All-local runs split the worker budget across concurrent shards;
+	// a re-dispatched shard (degraded fleet) gets the full budget.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	workersPer := workers / len(ranges)
+	if workersPer < 1 {
+		workersPer = 1
+	}
+	makeExec := func(i int) executor {
+		if len(opt.Replicas) > 0 {
+			poll := opt.PollInterval
+			if poll <= 0 {
+				poll = 500 * time.Millisecond
+			}
+			c := newClient(opt.Replicas[i%len(opt.Replicas)], opt.Client, opt.RetryAttempts, opt.RetryBackoff)
+			return &remoteExecutor{c: c, poll: poll}
+		}
+		return &localExecutor{workers: workersPer}
+	}
+
+	// Run every shard concurrently; the first fatal error cancels the
+	// rest (their checkpoints survive for a future resume).
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	paths := make([]string, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard-%03d.jsonl", i))
+		wg.Add(1)
+		go func(i int, r dse.Range) {
+			defer wg.Done()
+			if err := runShard(gctx, cfg, opt, makeExec(i), i, r, paths[i], progressFor(i)); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Merge: union all shard journals (plus any resumed merged journal)
+	// and atomically rewrite the merged journal in index order — the
+	// bytes a single-node grid run would have appended.
+	sets := make([][]dse.JournalEntry, 0, len(ranges)+1)
+	prior, err := dse.ReadJournal(merged, cfg.Space, cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	if len(prior) > 0 {
+		sets = append(sets, prior)
+	}
+	for i := range ranges {
+		ents, err := dse.ReadJournal(paths[i], cfg.Space, cfg.Sim)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		sets = append(sets, ents)
+	}
+	union, err := dse.MergeEntries(sets...)
+	if err != nil {
+		return nil, err
+	}
+	stats.mergedShards.Add(uint64(len(ranges)))
+	stats.mergedEntries.Add(uint64(len(union)))
+	if err := dse.WriteJournal(merged, cfg.Space, cfg.Sim, union); err != nil {
+		return nil, err
+	}
+
+	// Finalize by replay: the engine serves every evaluation from the
+	// merged journal's memo, so the Result is the single-node run's by
+	// construction — and an entry a dead shard never delivered is
+	// simply re-evaluated here instead of failing the search.
+	fin := cfg
+	fin.Journal = merged
+	fin.Resume = true
+	fin.Budget = cfg.Budget
+	res, err := dse.Run(ctx, fin)
+	if err != nil {
+		return nil, err
+	}
+	if len(union) < budget {
+		// The replay healed missing entries by appending them after the
+		// sorted lines; restore index order so the merged journal stays
+		// byte-identical to a single-node run's.
+		healed, err := dse.ReadJournal(merged, cfg.Space, cfg.Sim)
+		if err != nil {
+			return nil, err
+		}
+		if err := dse.WriteJournal(merged, cfg.Space, cfg.Sim, healed); err != nil {
+			return nil, err
+		}
+	} else {
+		// Complete union: cross-check the replayed frontier against the
+		// order-independent merge of the per-shard frontiers. A mismatch
+		// means a merge-law violation — fail loudly, never ship a wrong
+		// frontier.
+		objs := cfg.Objectives
+		fronts := make([][]dse.Candidate, len(sets))
+		for i, set := range sets {
+			cands := make([]dse.Candidate, 0, len(set))
+			for _, e := range set {
+				if e.Index < budget {
+					cands = append(cands, dse.Candidate{Index: e.Index, Point: cfg.Space.At(e.Index), Eval: e.Eval})
+				}
+			}
+			fronts[i] = dse.MergeFrontiers(objs, cands)
+		}
+		if want := dse.MergeFrontiers(objs, fronts...); !reflect.DeepEqual(want, res.Frontier) {
+			return nil, errors.New("shard: merged per-shard frontiers disagree with the replayed single-node frontier; this is a bug, refusing to return either")
+		}
+	}
+	return res, nil
+}
+
+// runShard drives one shard to completion: the primary executor, then
+// up to Redispatch local re-dispatches resuming from the shard's
+// journal checkpoint.
+func runShard(ctx context.Context, cfg dse.Config, opt Options, exec executor, idx int, r dse.Range, path string, progress func(int)) error {
+	stats.dispatched.Add(1)
+	err := exec.run(ctx, cfg, r, path, progress)
+	redispatch := opt.Redispatch
+	if redispatch == 0 {
+		redispatch = 1
+	}
+	for n := 0; err != nil && ctx.Err() == nil && n < redispatch; n++ {
+		stats.redispatched.Add(1)
+		if opt.Logger != nil {
+			opt.Logger.Warn("shard: re-dispatching locally from journal checkpoint",
+				"shard", idx, "range_start", r.Start, "range_end", r.End, "err", err)
+		}
+		local := &localExecutor{workers: cfg.Workers}
+		err = local.run(ctx, cfg, r, path, progress)
+	}
+	return err
+}

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cryowire/internal/dse"
+	"cryowire/internal/platform"
+	"cryowire/internal/sim"
+)
+
+// quickShardCfg is the quick DSE space at cheap, fully pinned sim
+// lengths on a shared platform cache.
+func quickShardCfg(pf *platform.Platform) dse.Config {
+	return dse.Config{
+		Space:    dse.DefaultSpace(true),
+		Strategy: dse.StrategyGrid,
+		Sim:      sim.Config{WarmupCycles: 200, MeasureCycles: 800, Seed: 1},
+		Platform: pf,
+	}
+}
+
+// singleNode runs the reference single-node search, journaled.
+func singleNode(t *testing.T, pf *platform.Platform) (resJSON, journal []byte) {
+	t.Helper()
+	cfg := quickShardCfg(pf)
+	cfg.Journal = filepath.Join(t.TempDir(), "single.jsonl")
+	res, err := dse.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("single-node run: %v", err)
+	}
+	resJSON, err = res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err = os.ReadFile(cfg.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resJSON, journal
+}
+
+// TestShardLocalByteIdentical is the local-executor golden gate: 2- and
+// 4-shard runs of the quick space produce a frontier and merged
+// journal byte-identical to the single-node run.
+func TestShardLocalByteIdentical(t *testing.T) {
+	pf := platform.New()
+	wantJSON, wantJournal := singleNode(t, pf)
+	for _, shards := range []int{2, 4} {
+		cfg := quickShardCfg(pf)
+		cfg.Journal = filepath.Join(t.TempDir(), "merged.jsonl")
+		// Progress may be called concurrently from shard goroutines;
+		// track a locked high-water mark.
+		var mu sync.Mutex
+		var last int
+		cfg.Progress = func(evaluated, budget int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if evaluated > budget {
+				t.Errorf("progress %d exceeds budget %d", evaluated, budget)
+			}
+			if evaluated > last {
+				last = evaluated
+			}
+		}
+		res, err := Run(context.Background(), cfg, Options{Shards: shards, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		got, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantJSON) {
+			t.Fatalf("%d shards: result differs from single-node run", shards)
+		}
+		gotJournal, err := os.ReadFile(cfg.Journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJournal, wantJournal) {
+			t.Fatalf("%d shards: merged journal differs from single-node journal:\n%s\nwant:\n%s", shards, gotJournal, wantJournal)
+		}
+		mu.Lock()
+		final := last
+		mu.Unlock()
+		if final != cfg.Space.Size() {
+			t.Fatalf("%d shards: final progress %d, want %d", shards, final, cfg.Space.Size())
+		}
+	}
+}
+
+// TestShardLocalRedispatch kills shard 0's executor mid-flight — after
+// it journaled part of its range — and proves the re-dispatch resumes
+// from the checkpoint and still lands on single-node bytes.
+func TestShardLocalRedispatch(t *testing.T) {
+	pf := platform.New()
+	wantJSON, wantJournal := singleNode(t, pf)
+
+	var mu sync.Mutex
+	injected := false
+	realRun := runLocal
+	runLocal = func(ctx context.Context, c dse.Config) (*dse.Result, error) {
+		mu.Lock()
+		crash := c.Range != nil && c.Range.Start == 0 && !injected
+		if crash {
+			injected = true
+		}
+		mu.Unlock()
+		if !crash {
+			return realRun(ctx, c)
+		}
+		// Simulate dying mid-shard: journal the first two points for
+		// real, then fail. The re-dispatch must resume from exactly here.
+		part := c
+		part.Range = &dse.Range{Start: 0, End: 2}
+		if _, err := realRun(ctx, part); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("injected shard crash")
+	}
+	defer func() { runLocal = realRun }()
+
+	before := ReadStats()
+	cfg := quickShardCfg(pf)
+	cfg.Journal = filepath.Join(t.TempDir(), "merged.jsonl")
+	res, err := Run(context.Background(), cfg, Options{Shards: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("sharded run with injected crash: %v", err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantJSON) {
+		t.Fatal("result after re-dispatch differs from single-node run")
+	}
+	gotJournal, err := os.ReadFile(cfg.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJournal, wantJournal) {
+		t.Fatal("merged journal after re-dispatch differs from single-node journal")
+	}
+	after := ReadStats()
+	if after.Redispatched == before.Redispatched {
+		t.Fatal("injected crash never triggered a re-dispatch")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !injected {
+		t.Fatal("crash injection never fired")
+	}
+}
+
+// TestShardRejects pins the coordinator's input contract.
+func TestShardRejects(t *testing.T) {
+	pf := platform.New()
+	cfg := quickShardCfg(pf)
+	cfg.Strategy = dse.StrategyRandom
+	if _, err := Run(context.Background(), cfg, Options{Shards: 2}); err == nil {
+		t.Fatal("adaptive strategy accepted for sharding")
+	}
+	cfg = quickShardCfg(pf)
+	cfg.Range = &dse.Range{Start: 0, End: 4}
+	if _, err := Run(context.Background(), cfg, Options{Shards: 2}); err == nil {
+		t.Fatal("caller-owned Range accepted")
+	}
+	cfg = quickShardCfg(pf)
+	cfg.Sim.Seed = 0
+	if _, err := Run(context.Background(), cfg, Options{Shards: 2, Replicas: []string{"http://127.0.0.1:1"}}); err == nil {
+		t.Fatal("unpinned sim config accepted for remote dispatch")
+	}
+	cfg = quickShardCfg(pf)
+	cfg.Journal = filepath.Join(t.TempDir(), "merged.jsonl")
+	if err := os.WriteFile(cfg.Journal, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), cfg, Options{Shards: 2}); err == nil {
+		t.Fatal("existing merged journal accepted without Resume")
+	}
+}

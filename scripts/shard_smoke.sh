@@ -1,0 +1,81 @@
+#!/bin/sh
+# shard_smoke.sh — prove the distributed DSE path end to end: run one
+# quick grid search single-node, again as two local shards, and again
+# fanned out over two real `cryowire serve -jobs-dir` replicas, and
+# require the merged result JSON and checkpoint journal to be
+# byte-identical across all three.
+#
+# Used by `make shard-smoke` (part of CI).
+set -eu
+
+TMP=$(mktemp -d)
+trap 'kill "$PID1" "$PID2" 2>/dev/null || true; wait "$PID1" "$PID2" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+PID1=""
+PID2=""
+
+go build -o "$TMP/cryowire" ./cmd/cryowire
+
+# wait_addr <logfile> <pid> — scrape `listening addr=127.0.0.1:PORT`.
+wait_addr() {
+    _addr=""
+    for _ in $(seq 1 100); do
+        _addr=$(sed -n 's/.*listening addr=\([0-9.:]*\).*/\1/p' "$1" | head -n1)
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || { echo "shard-smoke: replica died:" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$_addr" ] || { echo "shard-smoke: replica never reported its address" >&2; cat "$1" >&2; exit 1; }
+    echo "$_addr"
+}
+
+# The shared search: quick space, exhaustive grid, pinned quick sim
+# config (so replicas journal under the coordinator's key).
+DSE="dse -quick -json"
+
+# 1. Single-node reference.
+"$TMP/cryowire" $DSE -journal "$TMP/single.jsonl" >"$TMP/single.json"
+
+# 2. Two local shards in one process.
+"$TMP/cryowire" $DSE -shards 2 -shard-dir "$TMP/shards-local" \
+    -journal "$TMP/local.jsonl" >"$TMP/local.json"
+cmp -s "$TMP/single.json" "$TMP/local.json" || {
+    echo "shard-smoke: 2-shard local result differs from single-node:"
+    diff "$TMP/single.json" "$TMP/local.json" || true
+    exit 1
+}
+cmp -s "$TMP/single.jsonl" "$TMP/local.jsonl" || {
+    echo "shard-smoke: 2-shard local journal differs from single-node:"
+    diff "$TMP/single.jsonl" "$TMP/local.jsonl" || true
+    exit 1
+}
+
+# 3. Two shards on two real replicas over HTTP.
+"$TMP/cryowire" serve -addr 127.0.0.1:0 -jobs-dir "$TMP/jobs1" 2>"$TMP/serve1.log" &
+PID1=$!
+"$TMP/cryowire" serve -addr 127.0.0.1:0 -jobs-dir "$TMP/jobs2" 2>"$TMP/serve2.log" &
+PID2=$!
+ADDR1=$(wait_addr "$TMP/serve1.log" "$PID1")
+ADDR2=$(wait_addr "$TMP/serve2.log" "$PID2")
+echo "shard-smoke: replicas on http://$ADDR1 http://$ADDR2"
+
+"$TMP/cryowire" $DSE -workers-url "http://$ADDR1,http://$ADDR2" \
+    -shard-dir "$TMP/shards-remote" -journal "$TMP/remote.jsonl" >"$TMP/remote.json"
+cmp -s "$TMP/single.json" "$TMP/remote.json" || {
+    echo "shard-smoke: 2-replica remote result differs from single-node:"
+    diff "$TMP/single.json" "$TMP/remote.json" || true
+    exit 1
+}
+cmp -s "$TMP/single.jsonl" "$TMP/remote.jsonl" || {
+    echo "shard-smoke: 2-replica remote journal differs from single-node:"
+    diff "$TMP/single.jsonl" "$TMP/remote.jsonl" || true
+    exit 1
+}
+
+# 4. Graceful replica shutdown: SIGTERM must drain and exit cleanly.
+kill -TERM "$PID1" "$PID2"
+wait "$PID1" || { echo "shard-smoke: replica 1 exited non-zero"; cat "$TMP/serve1.log"; exit 1; }
+wait "$PID2" || { echo "shard-smoke: replica 2 exited non-zero"; cat "$TMP/serve2.log"; exit 1; }
+PID1=""
+PID2=""
+
+echo "shard-smoke: OK (2-shard local and 2-replica remote runs are byte-identical to single-node)"
