@@ -17,6 +17,11 @@
 #                      single-node, as two local shards, and across two
 #                      real `cryowire serve` replicas; the merged
 #                      frontier and journal must be byte-identical
+#   make surrogate-smoke - screen-then-verify gate: grid the quick
+#                      space, screen it against that journal as prior;
+#                      screen must simulate >=3x fewer candidates, its
+#                      journal entries must be a byte-identical subset
+#                      of the grid's, and the frontiers must match
 #   make bench       - Go benchmarks + serial-vs-parallel engine timing
 #                      and server hot/cold throughput (writes BENCH_platform.json)
 #                      + the hot-path harness below
@@ -30,7 +35,7 @@ GO ?= go
 # Lanes per lockstep batch for the bench-sim batch sweep (0 = auto).
 BATCH ?= 0
 
-.PHONY: all build test vet staticcheck race check chaos bench bench-sim serve-smoke shard-smoke
+.PHONY: all build test vet staticcheck race check chaos bench bench-sim serve-smoke shard-smoke surrogate-smoke
 
 all: check
 
@@ -60,6 +65,9 @@ serve-smoke: build
 
 shard-smoke: build
 	sh scripts/shard_smoke.sh
+
+surrogate-smoke: build
+	sh scripts/surrogate_smoke.sh
 
 # The chaos tests fork real `cryowire serve` processes and SIGKILL them
 # mid-job, so they live behind a build tag and out of the -race gate.

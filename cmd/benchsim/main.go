@@ -92,6 +92,18 @@ type report struct {
 	ShardSweepSeconds float64 `json:"shard_sweep_seconds"`
 	ShardCount        int     `json:"shard_count"`
 	ShardSweepFailed  int     `json:"shard_sweep_failed"`
+
+	// SurrogateSweepSeconds is the wall time of one screen-then-verify
+	// run over the quick space against a full-grid prior (grid run
+	// included in the measurement: it is the prior's cost).
+	// SurrogateSimsRun / SurrogateSimsSkipped split the space between
+	// what the screen simulated and what the surrogate let it skip —
+	// the savings the subsystem exists for. SurrogateSweepFailed is 1
+	// when the sweep aborted.
+	SurrogateSweepSeconds float64 `json:"surrogate_sweep_seconds"`
+	SurrogateSimsRun      int     `json:"surrogate_sims_run"`
+	SurrogateSimsSkipped  int     `json:"surrogate_sims_skipped"`
+	SurrogateSweepFailed  int     `json:"surrogate_sweep_failed"`
 }
 
 // newSystem builds a warmed system exactly like the in-package Go
@@ -247,6 +259,47 @@ func run(out string, batch int) error {
 		}
 	}
 	rep.ShardSweepSeconds = time.Since(start).Seconds()
+
+	// Surrogate sweep: grid the quick space into a journal, then screen
+	// the same space against that prior — the grid-vs-screen comparison
+	// the screen strategy's simulate savings are quoted from.
+	start = time.Now()
+	if dir, derr := os.MkdirTemp("", "benchsim-surrogate-*"); derr != nil {
+		fmt.Fprintf(os.Stderr, "benchsim: surrogate sweep: %v\n", derr)
+		rep.SurrogateSweepFailed = 1
+		if firstErr == nil {
+			firstErr = derr
+		}
+	} else {
+		defer os.RemoveAll(dir)
+		prior := dir + "/grid.jsonl"
+		gridCfg := dse.Config{
+			Space:    dse.DefaultSpace(true),
+			Strategy: dse.StrategyGrid,
+			Sim:      experiments.QuickOptions().Sim,
+			Journal:  prior,
+		}
+		screenCfg := gridCfg
+		screenCfg.Strategy = dse.StrategyScreen
+		screenCfg.Journal = ""
+		screenCfg.Priors = []string{prior}
+		gridRes, gerr := dse.Run(context.Background(), gridCfg)
+		var screenRes *dse.Result
+		if gerr == nil {
+			screenRes, gerr = dse.Run(context.Background(), screenCfg)
+		}
+		if gerr != nil {
+			fmt.Fprintf(os.Stderr, "benchsim: surrogate sweep: %v\n", gerr)
+			rep.SurrogateSweepFailed = 1
+			if firstErr == nil {
+				firstErr = gerr
+			}
+		} else {
+			rep.SurrogateSimsRun = screenRes.Evaluated
+			rep.SurrogateSimsSkipped = gridRes.Evaluated - screenRes.Evaluated
+		}
+	}
+	rep.SurrogateSweepSeconds = time.Since(start).Seconds()
 
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

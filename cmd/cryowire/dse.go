@@ -39,9 +39,13 @@ func dseMain(args []string) int {
 	shards := fs.Int("shards", 0, "partition the grid search into n shards run concurrently (0 = single run)")
 	workersURL := fs.String("workers-url", "", "comma-separated base URLs of remote `cryowire serve -jobs-dir` replicas to run the shards on")
 	shardDir := fs.String("shard-dir", "", "directory for per-shard checkpoint journals (default: a temp dir; set one to survive a coordinator crash)")
+	prior := fs.String("prior", "", "comma-separated prior journals the surrogate strategies learn from before proposing")
+	screenMargin := fs.Float64("screen-margin", 0, fmt.Sprintf("screen strategy's Pareto-band width in normalized objective units (0 = default %g)", dse.DefaultScreenMargin))
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, `usage: cryowire dse [-strategy grid|random|hillclimb] [-budget n] [-seed n]
+		fmt.Fprintf(os.Stderr, `usage: cryowire dse [-strategy grid|random|hillclimb|surrogate-hillclimb|ei|screen]
+                    [-budget n] [-seed n]
                     [-quick] [-workers n] [-json] [-journal file [-resume]]
+                    [-prior journal1.jsonl,journal2.jsonl] [-screen-margin x]
                     [-shards n] [-workers-url http://replica1,http://replica2]
                     [-shard-dir dir]
                     [-temps 300,77] [-modes nominal,cryosp] [-depths 14,17]
@@ -65,6 +69,17 @@ run concurrently — in this process, or on the remote replicas named by
 -shards is 0). The merged frontier and -journal are byte-identical to
 the single-run output; a shard whose replica dies is re-dispatched
 locally from its journal checkpoint.
+
+The surrogate strategies (surrogate-hillclimb, ei, screen) fit a
+deterministic k-NN interpolator over the journals named by -prior (and
+the run's own history) and use its predictions to decide what to
+simulate. screen simulates only the predicted Pareto band — widen it
+with -screen-margin — so every reported frontier point is sim-verified
+with a fraction of the grid's simulate calls; predictions never enter
+the output. Example:
+
+  cryowire dse -strategy screen -prior journal1.jsonl,journal2.jsonl \
+               -screen-margin 0.1
 `)
 		fs.PrintDefaults()
 	}
@@ -100,6 +115,24 @@ locally from its journal checkpoint.
 		fmt.Fprintln(os.Stderr, "cryowire dse: -shard-dir requires -shards or -workers-url")
 		return 2
 	}
+	var priors []string
+	for _, p := range strings.Split(*prior, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			priors = append(priors, p)
+		}
+	}
+	if len(priors) > 0 && !dse.IsSurrogateStrategy(*strategy) {
+		fmt.Fprintf(os.Stderr, "cryowire dse: -prior requires a surrogate strategy (surrogate-hillclimb, ei or screen), got %q\n", *strategy)
+		return 2
+	}
+	if *screenMargin != 0 && *strategy != dse.StrategyScreen {
+		fmt.Fprintf(os.Stderr, "cryowire dse: -screen-margin requires -strategy screen, got %q\n", *strategy)
+		return 2
+	}
+	if *screenMargin < 0 {
+		fmt.Fprintln(os.Stderr, "cryowire dse: -screen-margin must be >= 0")
+		return 2
+	}
 
 	space := cryowire.DefaultDSESpace(*quick)
 	if err := overrideSpace(&space, *temps, *modes, *depths, *nets, *workloads); err != nil {
@@ -126,14 +159,16 @@ locally from its journal checkpoint.
 		simCfg = experiments.QuickOptions().Sim
 	}
 	cfg := cryowire.DSEConfig{
-		Space:    space,
-		Strategy: *strategy,
-		Budget:   *budget,
-		Seed:     *seed,
-		Sim:      simCfg,
-		Workers:  *workers,
-		Journal:  *journalPath,
-		Resume:   *resume,
+		Space:        space,
+		Strategy:     *strategy,
+		Budget:       *budget,
+		Seed:         *seed,
+		Sim:          simCfg,
+		Workers:      *workers,
+		Journal:      *journalPath,
+		Resume:       *resume,
+		Priors:       priors,
+		ScreenMargin: *screenMargin,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

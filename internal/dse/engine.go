@@ -68,6 +68,23 @@ type Config struct {
 	Journal string
 	// Resume allows Journal to already exist and be continued.
 	Resume bool
+	// Priors are paths of prior checkpoint journals (from earlier runs
+	// of the same space and sim config) the surrogate strategies learn
+	// from before proposing anything. Only the surrogate strategies
+	// accept them; the exact strategies ignore nothing — naming priors
+	// with one is a config error. Prior-sourced predictions steer
+	// proposals only: they never appear in the Result or the journal.
+	Priors []string
+	// PriorEntries are already-parsed prior evaluations, merged with
+	// the Priors files — the in-process route for callers that hold
+	// journal entries in memory (the server, tests).
+	PriorEntries []JournalEntry
+	// ScreenMargin is the screen strategy's Pareto-band width in
+	// normalized objective units: predicted points at most this far
+	// behind the predicted frontier are simulated, the rest skipped.
+	// Zero means DefaultScreenMargin; only the screen strategy accepts
+	// a non-zero value.
+	ScreenMargin float64
 	// Progress, when non-nil, observes the search: it is called from
 	// the engine goroutine after every evaluation lands in the history
 	// (journal replays included) with the count so far and the run's
@@ -140,6 +157,34 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if len(objs) == 0 {
 		objs = DefaultObjectives()
 	}
+	// Surrogate wiring: load and key-check the priors, hand them to the
+	// strategy, and extend the journal key with the strategy fingerprint
+	// so a resume that changed priors or knobs is rejected.
+	var stratKey string
+	if sa, ok := strat.(surrogateAware); ok {
+		priors, err := loadPriors(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sa.initSurrogate(priors, cfg.ScreenMargin, objs)
+		if stratKey, err = surrogateStrategyKey(cfg, priors); err != nil {
+			return nil, err
+		}
+	} else {
+		if len(cfg.Priors) > 0 || len(cfg.PriorEntries) > 0 {
+			return nil, fmt.Errorf("dse: priors require a surrogate strategy (%s, %s or %s), got %q",
+				StrategySurrogateHill, StrategyEI, StrategyScreen, cfg.Strategy)
+		}
+		if cfg.ScreenMargin != 0 {
+			return nil, fmt.Errorf("dse: a screen margin requires the %q strategy, got %q", StrategyScreen, cfg.Strategy)
+		}
+	}
+	if cfg.ScreenMargin != 0 && cfg.Strategy != StrategyScreen {
+		return nil, fmt.Errorf("dse: a screen margin requires the %q strategy, got %q", StrategyScreen, cfg.Strategy)
+	}
+	if cfg.ScreenMargin < 0 {
+		return nil, fmt.Errorf("dse: screen margin must be non-negative, got %g", cfg.ScreenMargin)
+	}
 	size := cfg.Space.Size()
 	budget := cfg.Budget
 	if budget <= 0 || budget > size {
@@ -164,7 +209,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	var jl *journal
 	if cfg.Journal != "" {
-		jl, err = openJournal(cfg.Journal, cfg.Space, cfg.Sim, cfg.Resume)
+		jl, err = openJournal(cfg.Journal, cfg.Space, cfg.Sim, cfg.Resume, stratKey)
 		if err != nil {
 			return nil, err
 		}

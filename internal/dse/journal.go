@@ -29,6 +29,15 @@ type journalHeader struct {
 	// Key fingerprints the (space, sim config) pair the evaluations
 	// are valid for.
 	Key string `json:"key"`
+	// StrategyKey extends Key for surrogate-accelerated searches: it
+	// fingerprints the strategy, its seed, its knobs and the prior
+	// content the proposal sequence depends on, so a resume with
+	// different priors is rejected instead of silently diverging from
+	// the run it promises to reproduce byte-for-byte. Empty for the
+	// exact strategies (grid/random/hillclimb), which keeps their
+	// headers byte-identical to earlier releases and keeps shard
+	// journals mergeable.
+	StrategyKey string `json:"strategy_key,omitempty"`
 }
 
 // journalLine is one completed evaluation — the exported JournalEntry
@@ -57,9 +66,11 @@ type journal struct {
 
 // openJournal opens (creating if needed) the journal at path for the
 // given search, loading any prior evaluations recorded under the same
-// key. With resume=false an existing non-empty journal is an error —
+// key. stratKey is the strategy fingerprint to record and require
+// (empty for the exact strategies — see journalHeader.StrategyKey).
+// With resume=false an existing non-empty journal is an error —
 // silently appending a fresh run onto an old one would corrupt both.
-func openJournal(path string, s Space, cfg sim.Config, resume bool) (*journal, error) {
+func openJournal(path string, s Space, cfg sim.Config, resume bool, stratKey string) (*journal, error) {
 	key := journalKey(s, cfg)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
@@ -73,7 +84,7 @@ func openJournal(path string, s Space, cfg sim.Config, resume bool) (*journal, e
 	}
 	if st.Size() == 0 {
 		// Fresh journal: write the header.
-		hdr, err := json.Marshal(journalHeader{Kind: journalKind, Key: key})
+		hdr, err := json.Marshal(journalHeader{Kind: journalKind, Key: key, StrategyKey: stratKey})
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -88,7 +99,7 @@ func openJournal(path string, s Space, cfg sim.Config, resume bool) (*journal, e
 		f.Close()
 		return nil, fmt.Errorf("dse: journal %s already exists; pass -resume to continue it or remove it to start over", path)
 	}
-	if err := j.load(key); err != nil {
+	if err := j.load(key, stratKey); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -103,7 +114,7 @@ func openJournal(path string, s Space, cfg sim.Config, resume bool) (*journal, e
 // bytes and corrupt an interior line for every later resume. Malformed
 // newline-terminated lines were fully written, so they are genuine
 // corruption and remain errors.
-func (j *journal) load(key string) error {
+func (j *journal) load(key, stratKey string) error {
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("dse: rewind journal: %w", err)
 	}
@@ -116,7 +127,7 @@ func (j *journal) load(key string) error {
 		// Even the header never hit a line boundary: the kill landed
 		// inside the very first write. Nothing is recoverable; restart
 		// the journal from scratch.
-		return j.restart(key, 0)
+		return j.restart(key, stratKey, 0)
 	}
 	var hdr journalHeader
 	if err := json.Unmarshal(lines[0], &hdr); err != nil {
@@ -127,6 +138,9 @@ func (j *journal) load(key string) error {
 	}
 	if hdr.Key != key {
 		return fmt.Errorf("dse: journal was recorded for a different space or simulation config; remove it to start over")
+	}
+	if hdr.StrategyKey != stratKey {
+		return fmt.Errorf("dse: journal was recorded for a different strategy configuration (strategy, seed, priors or screen margin changed); remove it to start over")
 	}
 	for _, line := range lines[1:] {
 		if err := j.addLine(line); err != nil {
@@ -167,14 +181,14 @@ func splitJournal(data []byte) (lines [][]byte, torn int) {
 
 // restart wipes the journal back to a fresh header — the recovery path
 // for a file whose header itself was torn mid-write.
-func (j *journal) restart(key string, size int64) error {
+func (j *journal) restart(key, stratKey string, size int64) error {
 	if err := j.f.Truncate(size); err != nil {
 		return fmt.Errorf("dse: truncate torn journal: %w", err)
 	}
 	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
 		return fmt.Errorf("dse: seek journal: %w", err)
 	}
-	hdr, err := json.Marshal(journalHeader{Kind: journalKind, Key: key})
+	hdr, err := json.Marshal(journalHeader{Kind: journalKind, Key: key, StrategyKey: stratKey})
 	if err != nil {
 		return err
 	}

@@ -158,7 +158,7 @@ type JournalWriter struct {
 
 // OpenJournalWriter opens the journal at path for (s, cfg).
 func OpenJournalWriter(path string, s Space, cfg sim.Config) (*JournalWriter, error) {
-	j, err := openJournal(path, s, cfg, true)
+	j, err := openJournal(path, s, cfg, true, "")
 	if err != nil {
 		return nil, err
 	}

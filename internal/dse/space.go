@@ -360,6 +360,23 @@ func (s Space) axisLens() [6]int {
 	return [6]int{len(s.TempsK), len(s.Modes), len(s.Depths), len(s.Nets), len(s.Workloads), s.stageLen()}
 }
 
+// normCoords maps index i onto the unit 6-cube the surrogate
+// interpolates over: each axis coordinate scaled by its cardinality
+// (an axis of one collapses to 0, contributing nothing to distances).
+// Positions, not axis values, are what get normalized — the surrogate
+// learns over the grid the strategies walk, so one "grid step" costs
+// the same distance on every axis.
+func (s Space) normCoords(i int) []float64 {
+	c, lens := s.coords(i), s.axisLens()
+	out := make([]float64, len(c))
+	for ax := range c {
+		if lens[ax] > 1 {
+			out[ax] = float64(c[ax]) / float64(lens[ax]-1)
+		}
+	}
+	return out
+}
+
 // index re-encodes coordinates into a point index.
 func (s Space) index(c [6]int) int {
 	return ((((c[0]*len(s.Modes)+c[1])*len(s.Depths)+c[2])*len(s.Nets)+c[3])*len(s.Workloads)+c[4])*s.stageLen() + c[5]

@@ -15,8 +15,11 @@ const (
 )
 
 // Strategies lists the built-in strategy names in canonical order.
+// The surrogate-accelerated trio (surrogate.go) comes after the
+// exact strategies.
 func Strategies() []string {
-	return []string{StrategyGrid, StrategyRandom, StrategyHillClimb}
+	return []string{StrategyGrid, StrategyRandom, StrategyHillClimb,
+		StrategySurrogateHill, StrategyEI, StrategyScreen}
 }
 
 // Strategy proposes candidate indexes to evaluate. The engine calls
@@ -53,6 +56,12 @@ func NewStrategy(name string, seed int64) (Strategy, error) {
 		return &randomStrategy{seed: seed}, nil
 	case StrategyHillClimb:
 		return &hillClimbStrategy{seed: seed}, nil
+	case StrategySurrogateHill:
+		return &surrogateHillStrategy{hillClimbStrategy: hillClimbStrategy{seed: seed}}, nil
+	case StrategyEI:
+		return &eiStrategy{seed: seed}, nil
+	case StrategyScreen:
+		return &screenStrategy{seed: seed}, nil
 	default:
 		return nil, fmt.Errorf("dse: unknown strategy %q (have %s)", name, strings.Join(Strategies(), ", "))
 	}
@@ -108,20 +117,30 @@ type randomStrategy struct {
 
 func (r *randomStrategy) Name() string { return StrategyRandom }
 
-func (r *randomStrategy) Next(s Space, _ []HistoryEntry, remaining int) []int {
+func (r *randomStrategy) Next(s Space, hist []HistoryEntry, remaining int) []int {
 	if r.perm == nil {
 		r.perm = rand.New(rand.NewSource(r.seed)).Perm(s.Size())
 	}
-	n := len(r.perm) - r.cursor
-	if n > remaining {
-		n = remaining
-	}
-	if n <= 0 {
+	if remaining <= 0 {
 		return nil
 	}
-	out := make([]int, n)
-	copy(out, r.perm[r.cursor:r.cursor+n])
-	r.cursor += n
+	// Never re-propose an already-evaluated index: history entries —
+	// whether from this run's own proposals or seeded externally — are
+	// skipped, so every proposal spends budget on a fresh simulation.
+	// In an engine-driven run the history is exactly the permutation
+	// prefix already consumed, so the proposal sequence is unchanged.
+	evaluated := make(map[int]bool, len(hist))
+	for _, h := range hist {
+		evaluated[h.Index] = true
+	}
+	var out []int
+	for len(out) < remaining && r.cursor < len(r.perm) {
+		i := r.perm[r.cursor]
+		r.cursor++
+		if !evaluated[i] {
+			out = append(out, i)
+		}
+	}
 	return out
 }
 
@@ -190,6 +209,13 @@ func (h *hillClimbStrategy) Next(s Space, hist []HistoryEntry, remaining int) []
 	if h.rng == nil {
 		h.rng = rand.New(rand.NewSource(h.seed))
 		h.visited = make(map[int]bool)
+	}
+	// Never re-propose an already-evaluated index: mark the history —
+	// including entries the climber did not itself propose — as visited
+	// before choosing. An engine-driven run only ever has its own
+	// proposals in the history, so its sequence is unchanged.
+	for _, e := range hist {
+		h.visited[e.Index] = true
 	}
 	var batch []int
 	// Cold start: plant the seeds.

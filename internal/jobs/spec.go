@@ -58,6 +58,12 @@ type Spec struct {
 	// cannot itself be range-restricted.
 	Shards   int      `json:"shards,omitempty"`
 	Replicas []string `json:"replicas,omitempty"`
+	// Prior / ScreenMargin parameterize the surrogate strategies: paths
+	// of prior journals to learn from and the screen strategy's
+	// Pareto-band width (0 = engine default). omitempty keeps specs
+	// written before the surrogate existed byte-identical on rewrite.
+	Prior        []string `json:"prior,omitempty"`
+	ScreenMargin float64  `json:"screen_margin,omitempty"`
 }
 
 // Sharded reports whether the job runs through the shard coordinator
@@ -112,6 +118,8 @@ func SpecFromConfig(cfg dse.Config) Spec {
 		sp.RangeStart, sp.RangeEnd = cfg.Range.Start, cfg.Range.End
 	}
 	sp.CheckpointEvery = cfg.CheckpointEvery
+	sp.Prior = cfg.Priors
+	sp.ScreenMargin = cfg.ScreenMargin
 	return sp
 }
 
@@ -144,6 +152,8 @@ func (sp Spec) Config() (dse.Config, error) {
 		Workers:         sp.Workers,
 		BatchLanes:      sp.BatchLanes,
 		CheckpointEvery: sp.CheckpointEvery,
+		Priors:          sp.Prior,
+		ScreenMargin:    sp.ScreenMargin,
 	}
 	if sp.RangeStart != 0 || sp.RangeEnd != 0 {
 		if sp.Sharded() {

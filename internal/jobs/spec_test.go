@@ -1,0 +1,64 @@
+package jobs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"cryowire/internal/dse"
+)
+
+// TestSpecSurrogateRoundTrip: the surrogate fields survive the
+// config -> spec -> JSON -> spec -> config round-trip a durable job
+// makes, and specs without them marshal without the new keys (so specs
+// written before the surrogate existed rewrite byte-identically).
+func TestSpecSurrogateRoundTrip(t *testing.T) {
+	space := dse.DefaultSpace(true)
+	cfg := dse.Config{
+		Space:        space,
+		Strategy:     dse.StrategyScreen,
+		Budget:       8,
+		Seed:         5,
+		Priors:       []string{"a.jsonl", "b.jsonl"},
+		ScreenMargin: 0.15,
+	}
+	cfg.Sim.WarmupCycles, cfg.Sim.MeasureCycles, cfg.Sim.Seed = 400, 1600, 1
+
+	sp := SpecFromConfig(cfg)
+	if !reflect.DeepEqual(sp.Prior, cfg.Priors) || sp.ScreenMargin != cfg.ScreenMargin {
+		t.Fatalf("SpecFromConfig dropped surrogate fields: %+v", sp)
+	}
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Priors, cfg.Priors) || got.ScreenMargin != cfg.ScreenMargin {
+		t.Fatalf("spec round-trip lost surrogate fields: priors=%v margin=%v", got.Priors, got.ScreenMargin)
+	}
+
+	// A spec without surrogate fields must not grow the new keys.
+	plain := cfg
+	plain.Strategy = dse.StrategyGrid
+	plain.Priors, plain.ScreenMargin = nil, 0
+	pb, err := json.Marshal(SpecFromConfig(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(pb, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"prior", "screen_margin"} {
+		if _, ok := m[k]; ok {
+			t.Fatalf("plain spec marshals key %q; omitempty broken, old specs would rewrite differently", k)
+		}
+	}
+}

@@ -54,6 +54,15 @@ type dseDTO struct {
 	// excluded from the cache key because it never changes the result
 	// bytes.
 	CheckpointEvery int `json:"checkpoint_every"`
+	// Prior names server-local prior journal files the surrogate
+	// strategies (surrogate-hillclimb, ei, screen) learn from. The
+	// cache key includes a fingerprint of the files' content, so a
+	// prior that changed on disk can never serve a stale response.
+	Prior []string `json:"prior"`
+	// ScreenMargin is the screen strategy's Pareto-band width (0 =
+	// engine default). Part of the cache key: it changes which points
+	// get simulated.
+	ScreenMargin float64 `json:"screen_margin"`
 	// Config overrides the per-candidate simulation run-length/seed.
 	Config struct {
 		WarmupCycles  int   `json:"warmup_cycles"`
@@ -156,12 +165,23 @@ func (d dseDTO) resolve(maxEvals int) (dse.Config, error) {
 		strategy = dse.StrategyGrid
 	}
 	// Reject unknown strategy names at parse time (400), not from
-	// inside the cached computation.
+	// inside the cached computation. The error lists every accepted
+	// strategy — surrogate trio included.
 	if _, err := dse.NewStrategy(strategy, d.Seed); err != nil {
 		return dse.Config{}, badRequest("%v", err)
 	}
 	if rng != nil && strategy != dse.StrategyGrid {
 		return dse.Config{}, badRequest("a point-index range requires the %q strategy (got %q)", dse.StrategyGrid, strategy)
+	}
+	if len(d.Prior) > 0 && !dse.IsSurrogateStrategy(strategy) {
+		return dse.Config{}, badRequest("prior journals require a surrogate strategy (%s, %s or %s), got %q",
+			dse.StrategySurrogateHill, dse.StrategyEI, dse.StrategyScreen, strategy)
+	}
+	if d.ScreenMargin != 0 && strategy != dse.StrategyScreen {
+		return dse.Config{}, badRequest("screen_margin requires the %q strategy, got %q", dse.StrategyScreen, strategy)
+	}
+	if d.ScreenMargin < 0 {
+		return dse.Config{}, badRequest("screen_margin must be >= 0")
 	}
 	return dse.Config{
 		Space:           space,
@@ -173,6 +193,8 @@ func (d dseDTO) resolve(maxEvals int) (dse.Config, error) {
 		BatchLanes:      d.BatchLanes,
 		Range:           rng,
 		CheckpointEvery: d.CheckpointEvery,
+		Priors:          d.Prior,
+		ScreenMargin:    d.ScreenMargin,
 	}, nil
 }
 
@@ -193,7 +215,9 @@ func canonicalDSE(cfg dse.Config) string {
 		canonFloats(s.TempsK), strings.Join(s.Modes, ","), canonInts(s.Depths),
 		strings.Join(s.Nets, ","), strings.Join(s.WorkloadNames, ","),
 		canonFloats(s.StageTempsK),
-		canonInt(cfg.Sim.WarmupCycles), canonInt(cfg.Sim.MeasureCycles), canonInt64(cfg.Sim.Seed))
+		canonInt(cfg.Sim.WarmupCycles), canonInt(cfg.Sim.MeasureCycles), canonInt64(cfg.Sim.Seed),
+		canonFloat(cfg.ScreenMargin),
+		strings.Join(cfg.Priors, ","), dse.PriorFingerprint(cfg.Priors))
 }
 
 // handleDSE runs one design-space search and responds with

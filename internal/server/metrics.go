@@ -14,6 +14,7 @@ import (
 	"cryowire/internal/jobs"
 	"cryowire/internal/shard"
 	"cryowire/internal/sim"
+	"cryowire/internal/surrogate"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. The grid is
@@ -145,6 +146,11 @@ func (m *metrics) renderProm(lru lruStats, pf platformStats, js *jobs.Stats) str
 		occupancy = float64(bs.Lanes) / float64(bs.Batches)
 	}
 	gauge("cryowire_sim_batch_occupancy", "Mean lanes per batch over the process lifetime.", occupancy)
+
+	sur := surrogate.ReadStats()
+	counter("cryowire_surrogate_fits_total", "Surrogate models fitted from journals or in-run history.", sur.Fits)
+	counter("cryowire_surrogate_predictions_total", "Surrogate predictions served to search strategies.", sur.Predictions)
+	counter("cryowire_surrogate_sims_skipped_total", "Simulations skipped because the surrogate placed the point outside the predicted Pareto band.", sur.SimsSkipped)
 
 	ss := shard.ReadStats()
 	counter("cryowire_shard_dispatched_total", "Shards handed to an executor by the coordinator.", ss.Dispatched)

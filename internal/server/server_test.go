@@ -77,6 +77,10 @@ func TestEndpointStatuses(t *testing.T) {
 		{"dse bad json", "POST", "/v1/dse", "{", 400, "invalid JSON"},
 		{"dse unknown field", "POST", "/v1/dse", `{"strutegy":"grid"}`, 400, "invalid JSON"},
 		{"dse unknown strategy", "POST", "/v1/dse", `{"strategy":"annealing"}`, 400, "unknown strategy"},
+		{"dse strategy list names surrogates", "POST", "/v1/dse", `{"strategy":"annealing"}`, 400, "surrogate-hillclimb, ei, screen"},
+		{"dse prior without surrogate strategy", "POST", "/v1/dse", `{"strategy":"grid","prior":["a.jsonl"]}`, 400, "surrogate strategy"},
+		{"dse margin without screen", "POST", "/v1/dse", `{"strategy":"ei","screen_margin":0.2}`, 400, "screen_margin requires"},
+		{"dse negative margin", "POST", "/v1/dse", `{"strategy":"screen","screen_margin":-0.5}`, 400, "screen_margin must be"},
 		{"dse negative budget", "POST", "/v1/dse", `{"budget":-1}`, 400, "budget"},
 		{"dse unknown workload", "POST", "/v1/dse", `{"workloads":["nope"]}`, 404, ""},
 		{"dse bad depth", "POST", "/v1/dse", `{"depths":[3]}`, 400, "derivable range"},

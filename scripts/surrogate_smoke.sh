@@ -1,0 +1,59 @@
+#!/bin/sh
+# surrogate_smoke.sh — prove the screen-then-verify path end to end:
+# grid the quick space into a journal, screen the same space against
+# that journal as a prior, and require
+#   1. the screen run simulates at least 3x fewer candidates,
+#   2. every entry of the screen journal is byte-identical to a line of
+#      the grid journal (nothing predicted ever reached disk),
+#   3. both frontiers contain the 77K CryoSP+CryoBus headline point and
+#      are identical.
+#
+# Used by `make surrogate-smoke` (part of CI).
+set -eu
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/cryowire" ./cmd/cryowire
+
+# 1. The exhaustive reference: full quick-space grid, journaled.
+"$TMP/cryowire" dse -quick -json -journal "$TMP/grid.jsonl" >"$TMP/grid.json"
+
+# 2. Screen-then-verify against the grid journal as prior.
+"$TMP/cryowire" dse -quick -json -strategy screen -prior "$TMP/grid.jsonl" \
+    -screen-margin 0.1 -journal "$TMP/screen.jsonl" >"$TMP/screen.json"
+
+GRID_N=$(sed -n 's/.*"evaluated": \([0-9]*\).*/\1/p' "$TMP/grid.json" | head -n1)
+SCREEN_N=$(sed -n 's/.*"evaluated": \([0-9]*\).*/\1/p' "$TMP/screen.json" | head -n1)
+[ -n "$GRID_N" ] && [ -n "$SCREEN_N" ] || {
+    echo "surrogate-smoke: could not read evaluated counts" >&2; exit 1; }
+[ $((SCREEN_N * 3)) -le "$GRID_N" ] || {
+    echo "surrogate-smoke: screen simulated $SCREEN_N of $GRID_N candidates, want at least 3x fewer" >&2
+    exit 1
+}
+
+# 3. Every screen journal entry must appear verbatim in the grid
+# journal: the screened search is sim-verified, not predicted. (Headers
+# differ by design — the screen journal carries a strategy_key.)
+tail -n +2 "$TMP/grid.jsonl" | sort >"$TMP/grid.entries"
+tail -n +2 "$TMP/screen.jsonl" | sort >"$TMP/screen.entries"
+if [ -n "$(comm -23 "$TMP/screen.entries" "$TMP/grid.entries")" ]; then
+    echo "surrogate-smoke: screen journal entries are not a byte-identical subset of the grid journal:" >&2
+    comm -23 "$TMP/screen.entries" "$TMP/grid.entries" >&2
+    exit 1
+fi
+
+# 4. Identical frontiers, headline point included.
+sed -n '/"frontier"/,$p' "$TMP/grid.json" >"$TMP/grid.frontier"
+sed -n '/"frontier"/,$p' "$TMP/screen.json" >"$TMP/screen.frontier"
+cmp -s "$TMP/grid.frontier" "$TMP/screen.frontier" || {
+    echo "surrogate-smoke: screen frontier differs from the grid frontier:"
+    diff "$TMP/grid.frontier" "$TMP/screen.frontier" || true
+    exit 1
+}
+grep -q '"mode": "cryosp"' "$TMP/screen.frontier" || {
+    echo "surrogate-smoke: CryoSP point missing from the screened frontier" >&2; exit 1; }
+grep -q '"net": "cryobus"' "$TMP/screen.frontier" || {
+    echo "surrogate-smoke: CryoBus point missing from the screened frontier" >&2; exit 1; }
+
+echo "surrogate-smoke: OK (screen verified $SCREEN_N of $GRID_N candidates, identical frontier, journal subset byte-identical)"
